@@ -1,0 +1,33 @@
+# Development entry points.  The environment needs no network: install
+# falls back to `setup.py develop` when pip cannot build a wheel.
+
+PYTHON ?= python
+
+.PHONY: install test bench fuzz figures experiments examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+fuzz:
+	$(PYTHON) scripts/fuzz.py 100
+
+figures:
+	$(PYTHON) scripts/render_figures.py figures_out
+
+experiments:
+	$(PYTHON) scripts/collect_experiments.py
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; $(PYTHON) $$script > /dev/null || exit 1; \
+	done; echo "all examples ran"
+
+clean:
+	rm -rf figures_out .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

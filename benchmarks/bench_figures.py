@@ -1,0 +1,51 @@
+"""Experiments F1–F13 — regenerate every figure of the paper.
+
+Each benchmark runs the full ``pde`` (and ``pfe`` where the figure
+distinguishes them) on the exact figure program and asserts the frozen
+expected result — the machine-checked equivalent of the paper's
+before/after drawings.  Figure 13 exercises the sinking-candidate
+definition directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import pde, pfe
+from repro.core.optimality import is_better_or_equal
+from repro.dataflow.patterns import PatternInfo, sinking_candidate_index
+from repro.figures import ALL_FIGURES, FIG_13_PANEL
+from repro.ir.parser import parse_statement
+
+_BY_NUMBER = {figure.number: figure for figure in ALL_FIGURES}
+
+
+@pytest.mark.parametrize("number", sorted(_BY_NUMBER))
+def test_figure_pde(benchmark, number):
+    figure = _BY_NUMBER[number]
+    before = figure.before()
+    result = benchmark(pde, before)
+    assert result.graph == figure.expected_pde(), figure.claim
+    assert is_better_or_equal(result.graph, result.original)
+
+
+@pytest.mark.parametrize(
+    "number", [f.number for f in ALL_FIGURES if f.expected_pfe_text]
+)
+def test_figure_pfe(benchmark, number):
+    figure = _BY_NUMBER[number]
+    result = benchmark(pfe, figure.before())
+    assert result.graph == figure.expected_pfe(), figure.claim
+
+
+def test_fig13_sinking_candidates(benchmark):
+    info = PatternInfo.of(parse_statement("y := a + b"))
+
+    def classify_panel():
+        return [
+            sinking_candidate_index(panel.statements(), info)
+            for panel in FIG_13_PANEL
+        ]
+
+    indices = benchmark(classify_panel)
+    assert indices == [panel.expected_index for panel in FIG_13_PANEL]

@@ -1,0 +1,54 @@
+"""Experiment E-pressure — live-range effects of sinking.
+
+The delayability analysis descends from lazy code motion's
+lifetime-minimisation machinery ([22]); sinking assignments toward
+their uses should *shorten* live ranges.  Measured: peak and average
+simultaneous-live-variable counts before/after ``pde`` on the figure
+corpus and the scaling families — pressure never increases, and drops
+where computations were eager.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import pde
+from repro.dataflow.pressure import measure_pressure
+from repro.figures import ALL_FIGURES
+from repro.workloads import diamond_chain, loop_chain, random_structured_program
+
+
+class TestRegisterPressure:
+    @pytest.mark.parametrize(
+        "figure", ALL_FIGURES, ids=[f.number for f in ALL_FIGURES]
+    )
+    def test_peak_never_increases_on_figures(self, benchmark, figure):
+        result = pde(figure.before())
+        before = measure_pressure(result.original)
+        after = measure_pressure(result.graph)
+        assert after.peak <= before.peak
+        benchmark(measure_pressure, result.graph)
+
+    @pytest.mark.parametrize(
+        "family,parameter",
+        [(diamond_chain, 8), (loop_chain, 4)],
+        ids=["diamonds", "loops"],
+    )
+    def test_families(self, benchmark, family, parameter):
+        result = pde(family(parameter))
+        before = measure_pressure(result.original)
+        after = measure_pressure(result.graph)
+        assert after.peak <= before.peak
+        assert after.average <= before.average + 1e-9
+        benchmark(measure_pressure, result.graph)
+
+    def test_random_program_sweep(self, benchmark):
+        regressions = 0
+        for seed in range(30):
+            result = pde(random_structured_program(seed, size=16))
+            before = measure_pressure(result.original)
+            after = measure_pressure(result.graph)
+            if after.peak > before.peak:
+                regressions += 1
+        assert regressions == 0
+        benchmark(measure_pressure, pde(random_structured_program(0, size=16)).graph)

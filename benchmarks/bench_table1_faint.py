@@ -1,0 +1,59 @@
+"""Experiment T1-faint — paper Table 1, faint variable analysis.
+
+The faint system "does not have a bit-vector form" and is solved by the
+slotwise/instruction-level worklist of Section 5.2.  We time both our
+solution strategies, assert they agree, and check the paper's
+qualitative cost claim — faint analysis is proportional to instructions
+× variables, i.e. more expensive than the dead analysis but polynomially
+bounded.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow.dead import analyze_dead
+from repro.dataflow.faint import analyze_faint
+from repro.ir.parser import parse_program
+
+from .conftest import ANALYSIS_SIZES
+
+FIG9 = """
+graph
+block s -> 1
+block 1 {} -> 2
+block 2 { x := x + 1 } -> 2, 3
+block 3 { out(y) } -> e
+block e
+"""
+
+
+@pytest.mark.parametrize("size", ANALYSIS_SIZES)
+@pytest.mark.parametrize("method", ("slot", "instruction", "block"))
+def test_faint_analysis_scaling(benchmark, sized_programs, size, method):
+    graph = sized_programs[size]
+    result = benchmark(analyze_faint, graph, method)
+    assert result.exit(graph.end) == result.universe.full
+
+    # Cost bound from Section 6.1.2: the number of worklist evaluations
+    # is O(i · v) — each slot flips at most once (exact for the slotwise
+    # engine; the vectorised engines do fewer, coarser evaluations).
+    instructions = graph.instruction_count() + len(graph.nodes())
+    variables = max(1, len(graph.variables()))
+    assert result.transfer_evaluations <= 8 * instructions * variables
+
+
+def test_faint_detects_figure9(benchmark):
+    graph = parse_program(FIG9)
+    faint = benchmark(analyze_faint, graph)
+    dead = analyze_dead(graph)
+    assert faint.is_faint_after("2", 0, "x")
+    assert not dead.is_dead_after("2", 0, "x")
+
+
+def test_faint_subsumes_dead(benchmark, sized_programs):
+    graph = sized_programs[min(ANALYSIS_SIZES)]
+    faint = benchmark(analyze_faint, graph)
+    dead = analyze_dead(graph)
+    for node in graph.nodes():
+        assert dead.entry(node) & ~faint.entry(node) == 0

@@ -1,0 +1,54 @@
+"""Experiment T2-delay — paper Table 2, delayability analysis and
+insertion points.
+
+Times the forward bit-vector delayability analysis and asserts the
+table's defining properties on reference programs: where the delayed
+bits flow, where the insertion predicates fire, and the footnote-6
+invariant (no exit insertions at branching nodes on split graphs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow.delay import analyze_delayability
+from repro.ir.parser import parse_program
+from repro.ir.splitting import split_critical_edges
+
+from .conftest import ANALYSIS_SIZES
+
+FIG1 = """
+graph
+block s -> 1
+block 1 { y := a + b } -> 2, 3
+block 2 {} -> 4
+block 3 { y := 4 } -> 4
+block 4 { out(y) } -> e
+block e
+"""
+
+
+@pytest.mark.parametrize("size", ANALYSIS_SIZES)
+def test_delayability_scaling(benchmark, sized_programs, size):
+    graph = sized_programs[size]
+    result = benchmark(analyze_delayability, graph)
+    result.check_invariants()
+    # Bit-vector behaviour: bounded worklist revisits per block.
+    assert result.transfer_evaluations <= 12 * len(graph.nodes())
+
+
+def test_delayability_reference_solution(benchmark):
+    graph = split_critical_edges(parse_program(FIG1))
+    result = benchmark(analyze_delayability, graph)
+    bit = result.patterns.universe.bit("y := a + b")
+    assert result.x_delayed["1"] & bit
+    assert result.n_delayed["2"] & bit and result.n_delayed["3"] & bit
+    assert not result.x_delayed["3"] & bit  # blocked by the redefinition
+    assert result.x_insert("2") & bit
+    assert result.n_insert("3") & bit
+
+
+def test_delayability_work_scales_with_patterns(benchmark, sized_programs):
+    graph = sized_programs[min(ANALYSIS_SIZES)]
+    result = benchmark(analyze_delayability, graph)
+    assert len(result.patterns) == len(graph.assignment_patterns())

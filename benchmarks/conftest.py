@@ -1,0 +1,53 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one artifact of the paper — a table's
+analysis, a figure's transformation, or a Section 6 complexity claim —
+and *asserts* the qualitative result (who wins, what the transformed
+program is, how cost scales) while timing the component.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir.splitting import split_critical_edges
+from repro.workloads import (
+    diamond_chain,
+    loop_chain,
+    random_arbitrary_graph,
+    random_structured_program,
+)
+
+#: Program-size sweep used by the Table 1/2 analysis benchmarks.
+ANALYSIS_SIZES = (50, 200, 800)
+
+
+@pytest.fixture(scope="session")
+def sized_programs():
+    """Edge-split random programs of increasing size, keyed by size."""
+    programs = {}
+    for size in ANALYSIS_SIZES:
+        programs[size] = split_critical_edges(
+            random_structured_program(seed=7, size=size, n_variables=8)
+        )
+    return programs
+
+
+@pytest.fixture(scope="session")
+def arbitrary_program():
+    """A mid-size arbitrary (irreducible) graph for the analysis benches."""
+    return split_critical_edges(random_arbitrary_graph(seed=3, n_blocks=60))
+
+
+@pytest.fixture(scope="session")
+def diamond_suite():
+    return {k: diamond_chain(k) for k in (4, 8, 16)}
+
+
+@pytest.fixture(scope="session")
+def loop_suite():
+    return {k: loop_chain(k) for k in (2, 4, 8)}

@@ -1,0 +1,49 @@
+"""Scenario: the whole mini-compiler — parse, optimise, lower, execute.
+
+The paper's transformation lives in the middle of a compiler; this
+example runs the full pipeline on the Figure 3 loop and measures the
+optimisation where it finally matters: executed machine instructions in
+the bytecode VM.
+"""
+
+from repro import parse_program, pde
+from repro.codegen import format_listing, lower, run_bytecode
+from repro.interp import DecisionSequence
+
+SOURCE = """
+graph
+block s -> 1
+block 1 {} -> 2
+block 2 { y := a + b; c := y - d } -> 3   # loop-invariant pair
+block 3 {} -> 2, 4
+block 4 { out(c) } -> e
+block e
+"""
+
+
+def main() -> None:
+    result = pde(parse_program(SOURCE))
+
+    before = lower(result.original)
+    after = lower(result.graph)
+    print("=== optimised bytecode ===")
+    print(format_listing(after))
+
+    print("\nexecuted machine instructions by loop iteration count:")
+    print(f"{'iterations':>12} {'original':>9} {'optimised':>10} {'saved':>7}")
+    env = {"a": 3, "b": 4, "d": 1}
+    for iterations in (1, 5, 25, 100):
+        decisions = [0] * iterations + [1]
+        base = run_bytecode(before, dict(env), DecisionSequence(list(decisions)))
+        new = run_bytecode(after, dict(env), DecisionSequence(list(decisions)))
+        assert base.outputs == new.outputs == [6]
+        saved = 1 - new.executed / base.executed
+        print(
+            f"{iterations:>12} {base.executed:>9} {new.executed:>10} {saved:>6.1%}"
+        )
+    print("\nThe invariant pair costs the original 5 instructions per "
+          "iteration; the optimised loop body is branch-only.")
+
+
+if __name__ == "__main__":
+    main()

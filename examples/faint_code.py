@@ -1,0 +1,55 @@
+"""Scenario: dead vs. faint code (paper Figure 9 and Section 3).
+
+``x := x + 1`` in a loop whose result never reaches an output is not
+*dead* — it feeds its own next iteration — but it is *faint*.  The
+example contrasts the four eliminators:
+
+* classical dce keeps it,
+* the def-use marking algorithm with optimistic assumptions removes it
+  (and provably coincides with faint code elimination),
+* ``pde`` moves it to the back edge (one update saved per execution),
+* ``pfe`` removes it entirely.
+"""
+
+from repro import format_side_by_side, parse_program, pde, pfe
+from repro.baselines import dce_only, defuse_elimination, fce_only
+
+SOURCE = """
+graph
+block s -> 1
+block 1 { x := 0 } -> 2
+block 2 { x := x + 1; sum := sum + x } -> 2, 3   # sum is faint too!
+block 3 { out(q) } -> e
+block e
+"""
+
+
+def instruction_count(result) -> int:
+    return result.graph.instruction_count()
+
+
+def main() -> None:
+    program = parse_program(SOURCE)
+    rows = [
+        ("original", parse_program(SOURCE).instruction_count()),
+        ("dce-only", instruction_count(dce_only(program))),
+        ("def-use marking", instruction_count(defuse_elimination(program))),
+        ("fce-only", instruction_count(fce_only(program))),
+        ("pde", pde(program).graph.instruction_count()),
+        ("pfe", pfe(program).graph.instruction_count()),
+    ]
+    print(f"{'eliminator':>16} {'instructions':>13}")
+    for name, count in rows:
+        print(f"{name:>16} {count:>13}")
+
+    assert defuse_elimination(program).graph == fce_only(program).graph
+    print("\nOptimistic def-use marking and faint code elimination agree, "
+          "as Section 5.2 observes.")
+
+    print("\n=== pfe result ===")
+    result = pfe(program)
+    print(format_side_by_side(result.original, result.graph))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Scenario: profile-guided 'hot area' optimisation (paper Section 7).
+
+The paper's conclusions propose limiting the exhaustive algorithm by
+"localizing the optimization process to 'hot areas'".  This example
+closes the loop the paper sketches:
+
+1. profile the program under random branch decisions
+   (``repro.interp.profile``) to find the hottest blocks,
+2. run :func:`repro.passes.strategies.regional_pde` on that region only,
+3. compare expected dynamic cost against doing nothing and against the
+   full exhaustive algorithm.
+
+Most of the win comes from the hot loop at a fraction of the scope.
+"""
+
+from repro.core import pde
+from repro.interp.profile import expected_cost, hottest_blocks
+from repro.ir import parse_program
+from repro.ir.splitting import split_critical_edges
+from repro.passes import region_closure, regional_pde
+
+# A hot loop with a drainable invariant pair, surrounded by cold code
+# with its own (minor) partially dead assignment.
+SOURCE = """
+graph
+block s -> c1
+block c1 { t := p + 1 } -> c2, c3       # cold: t partially dead
+block c2 { out(t) } -> h0
+block c3 { t := 0; out(t) } -> h0
+block h0 {} -> h1
+block h1 { y := a + b; c := y - d } -> h2   # hot loop body
+block h2 {} -> h1, c4
+block c4 { out(c) } -> e
+block e
+"""
+
+
+def main() -> None:
+    program = parse_program(SOURCE)
+    split = split_critical_edges(program)
+
+    ranked = hottest_blocks(split, top=3, trials=150, seed=9)
+    print("hottest blocks (mean visits/run):")
+    for name, freq in ranked:
+        print(f"  {name:>6}: {freq:5.2f}")
+
+    # Sinking realises a region's win at its exits, so include the
+    # frontier (see region_closure's docstring).
+    hot = region_closure(split, [name for name, _f in ranked], include_frontier=True)
+    print("\nregion chosen:", sorted(hot))
+
+    regional = regional_pde(split, hot)
+    full = pde(program)
+
+    rows = [
+        ("untouched", expected_cost(split, trials=200, seed=3)),
+        ("hot region only", expected_cost(regional.graph, trials=200, seed=3)),
+        ("full pde", expected_cost(full.graph, trials=200, seed=3)),
+    ]
+    print("\nexpected executed assignments per run:")
+    for name, cost in rows:
+        print(f"  {name:>16}: {cost:6.2f}")
+    print("\nThe hot loop supplies most of the win; the cold partially dead "
+          "assignment is the remainder full pde collects.")
+
+
+if __name__ == "__main__":
+    main()

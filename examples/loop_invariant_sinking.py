@@ -1,0 +1,47 @@
+"""Scenario: draining loop-invariant code that loop-invariant code
+motion cannot touch (paper Figures 3 & 4).
+
+The loop body computes a two-instruction chain whose first instruction
+defines an operand of the second — classical hoisting is blocked, and
+even hoisting with copy propagation leaves the assignment in the loop.
+Exhaustive assignment *sinking* moves the whole chain past the loop
+exit, emptying the body.  The interpreter quantifies the win.
+"""
+
+from repro import DecisionSequence, execute, format_side_by_side, parse_program, pde
+
+SOURCE = """
+graph
+block s -> 1
+block 1 {} -> 2
+block 2 { y := a + b; c := y - d } -> 3    # invariant chain, used after the loop
+block 3 {} -> 2, 4                          # nondeterministic loop
+block 4 { out(c) } -> e
+block e
+"""
+
+
+def executed_assignments(graph, iterations: int) -> int:
+    """Run the loop ``iterations`` times and count executed assignments."""
+    decisions = DecisionSequence([0] * iterations + [1])
+    run = execute(graph, env={"a": 3, "b": 4, "d": 1}, decisions=decisions)
+    assert run.outputs == [6], run.outputs  # (3+4)-1, semantics intact
+    return run.total_assignments
+
+
+def main() -> None:
+    result = pde(parse_program(SOURCE))
+    print(format_side_by_side(result.original, result.graph))
+
+    print("executed assignments by loop iteration count:")
+    print(f"{'iterations':>12} {'original':>10} {'after pde':>10}")
+    for iterations in (1, 2, 5, 10, 100):
+        before = executed_assignments(result.original, iterations)
+        after = executed_assignments(result.graph, iterations)
+        print(f"{iterations:>12} {before:>10} {after:>10}")
+    print("\nThe loop body is empty after pde: cost no longer grows with "
+          "the iteration count.")
+
+
+if __name__ == "__main__":
+    main()

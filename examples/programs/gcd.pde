@@ -1,0 +1,19 @@
+# Euclid's algorithm with debug bookkeeping.
+# The `steps` counter and the `trace` snapshot are only consumed on the
+# verbose path — partially dead on the quiet one.  The swap temporary
+# `t` is live only inside the loop.
+steps := 0;
+while (b != 0) {
+    t := b;
+    b := a % b;
+    a := t;
+    steps := steps + 1;
+}
+trace := steps * 10 + a;
+if ? {
+    out(trace);        # verbose: report steps and result together
+    out(steps);
+} else {
+    skip;              # quiet: trace and steps were wasted work
+}
+out(a);

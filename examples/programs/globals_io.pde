@@ -1,0 +1,13 @@
+# Globals must survive: `device` is declared outside the flow graph
+# (footnote 2), so its final store cannot be dropped even though no
+# local out() reads it.  The scratch register is ordinary and dies.
+globals device;
+scratch := base + 1;
+device := scratch * 2;
+if ? {
+    scratch := 0;
+    device := device + scratch;
+} else {
+    skip;
+}
+out(base);

@@ -1,0 +1,18 @@
+# Horner evaluation of a degree-4 polynomial, with an error estimate
+# that is only consumed when the "check" branch runs.  The estimate's
+# whole dependency chain is partially dead — exhaustive PDE moves it
+# onto the checking branch (second-order: each link unblocks the next).
+acc := c4;
+acc := acc * x + c3;
+acc := acc * x + c2;
+acc := acc * x + c1;
+acc := acc * x + c0;
+err1 := acc - probe;
+err2 := err1 * err1;
+bound := err2 + tol;
+if ? {
+    out(bound);        # checking run
+    out(acc);
+} else {
+    out(acc);          # fast path: the whole err chain was wasted
+}

@@ -1,0 +1,14 @@
+# A protocol automaton with an irreducible hand-off between the two
+# "established" states (they can enter each other directly or from the
+# dispatcher) — the Figure 5 shape in the wild.  The session digest is
+# computed eagerly at connect time but only consumed on the audit exit.
+graph
+block s -> connect
+block connect { digest := seed * 31 + peer; retries := 0 } -> dispatch
+block dispatch {} -> estA, estB
+block estA { retries := retries + 1 } -> estB, closing
+block estB { retries := retries + 2 } -> estA, closing
+block closing {} -> audit, bye
+block audit { out(digest); out(retries) } -> bye
+block bye { out(retries) } -> e
+block e

@@ -1,0 +1,20 @@
+# Streaming statistics over a nondeterministic input sequence.
+# The running `sq` accumulator (sum of squares) is consumed only when
+# the "detailed report" branch is taken — the classic partially dead
+# accumulator an optimiser should charge only to that branch.
+n := 0;
+total := 0;
+sq := 0;
+while ? {
+    x := x + 3;            # "next input"
+    total := total + x;
+    sq := sq + x * x;
+    n := n + 1;
+}
+if ? {
+    out(total);
+    out(sq);               # detailed report
+    out(n);
+} else {
+    out(total);            # summary only: sq was dead weight
+}

@@ -1,0 +1,107 @@
+"""Collect the measurements recorded in EXPERIMENTS.md.
+
+Run with ``python scripts/collect_experiments.py``; it prints the
+log-log runtime slopes, the code growth factor ``w`` and the global
+round count ``r`` for the Section 6 scaling families, and wall times of
+the Table 1/2 analyses at increasing program sizes.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, List, Tuple
+
+from repro.core import pde, pfe
+from repro.dataflow.dead import analyze_dead
+from repro.dataflow.delay import analyze_delayability
+from repro.dataflow.faint import analyze_faint
+from repro.ir.splitting import split_critical_edges
+from repro.workloads import diamond_chain, loop_chain, random_structured_program
+
+
+def log_log_slope(points: List[Tuple[float, float]]) -> float:
+    xs = [math.log(x) for x, _ in points]
+    ys = [math.log(max(y, 1e-9)) for _, y in points]
+    n = len(points)
+    mean_x, mean_y = sum(xs) / n, sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var = sum((x - mean_x) ** 2 for x in xs)
+    return cov / var
+
+
+def sweep(optimizer: Callable, make: Callable, parameters, repetitions: int = 3):
+    rows = []
+    for parameter in parameters:
+        graph = make(parameter)
+        times = []
+        result = None
+        for _ in range(repetitions):
+            start = time.perf_counter()
+            result = optimizer(graph)
+            times.append(time.perf_counter() - start)
+        rows.append(
+            (
+                parameter,
+                graph.instruction_count(),
+                min(times),
+                result.stats.rounds,
+                result.stats.code_growth_factor,
+            )
+        )
+    return rows
+
+
+def report_family(name: str, family: Callable, parameters) -> None:
+    for label, optimizer in (("pde", pde), ("pfe", pfe)):
+        rows = sweep(optimizer, family, parameters)
+        slope = log_log_slope([(n, t) for _, n, t, _, _ in rows])
+        print(f"{name} {label}: slope={slope:.2f}")
+        for parameter, n, t, rounds, w in rows:
+            print(
+                f"   k={parameter:<4} i={n:<5} t={t * 1000:8.2f}ms "
+                f"rounds={rounds:<3} w={w:.2f}"
+            )
+
+
+def main() -> None:
+    report_family("diamond_chain", diamond_chain, (8, 16, 32, 64, 128))
+    report_family("loop_chain", loop_chain, (4, 8, 16, 32, 64))
+
+    rows = sweep(
+        pde,
+        lambda size: random_structured_program(seed=11, size=size, n_variables=6),
+        (40, 80, 160, 320, 640),
+    )
+    slope = log_log_slope([(n, t) for _, n, t, _, _ in rows])
+    print(f"random pde: slope={slope:.2f}")
+    for parameter, n, t, rounds, w in rows:
+        print(
+            f"   size={parameter:<4} i={n:<5} t={t * 1000:8.2f}ms "
+            f"rounds={rounds:<3} w={w:.2f}"
+        )
+
+    for size in (50, 200, 800, 3200):
+        graph = split_critical_edges(
+            random_structured_program(seed=7, size=size, n_variables=8)
+        )
+        timings = {}
+        for label, run in (
+            ("dead", lambda: analyze_dead(graph)),
+            ("faint_slot", lambda: analyze_faint(graph, "slot")),
+            ("faint_instr", lambda: analyze_faint(graph, "instruction")),
+            ("faint_block", lambda: analyze_faint(graph, "block")),
+            ("delay", lambda: analyze_delayability(graph)),
+        ):
+            start = time.perf_counter()
+            run()
+            timings[label] = (time.perf_counter() - start) * 1000
+        shown = " ".join(f"{key}={value:.1f}ms" for key, value in timings.items())
+        print(
+            f"analyses size={size}: i={graph.instruction_count()} "
+            f"blocks={len(graph.nodes())} {shown}"
+        )
+
+
+if __name__ == "__main__":
+    main()

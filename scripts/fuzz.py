@@ -1,0 +1,110 @@
+"""Differential fuzzing harness.
+
+Runs every transformation in the repository over seeded random programs
+and checks the oracles:
+
+* semantics preserved (interpreter replay, honouring the footnote 3
+  error asymmetry),
+* pde/pfe results never slower (executed-assignment counts),
+* pde/pfe idempotent,
+* every sinking pass admissible (Definition 3.2).
+
+Usage::
+
+    python scripts/fuzz.py [count] [start-seed]
+
+Exit code 0 when every check passes; counterexample seeds are printed
+otherwise.  The hypothesis suites cover the same ground per-commit; the
+fuzzer exists for long unattended soak runs.
+"""
+
+from __future__ import annotations
+
+import sys
+import traceback
+
+from repro.baselines import (
+    dce_only,
+    defuse_elimination,
+    fce_only,
+    naive_sinking,
+    single_pass_pde,
+    ssa_dce,
+)
+from repro.core import pde, pfe
+from repro.core.admissibility import check_sinking_admissible
+from repro.core.eliminate import dead_code_elimination
+from repro.core.sink import assignment_sinking
+from repro.ir.simplify import tidy
+from repro.ir.splitting import split_critical_edges
+from repro.lcm import lazy_code_motion
+from repro.passes import hoist_then_eliminate
+from repro.passes.value_numbering import value_numbering
+from repro.workloads import random_arbitrary_graph, random_structured_program
+
+sys.path.insert(0, "tests")
+from helpers import assert_never_slower, assert_semantics_preserved  # noqa: E402
+
+TRANSFORMATIONS = (
+    ("pde", lambda g: pde(g)),
+    ("pfe", lambda g: pfe(g)),
+    ("dce-only", dce_only),
+    ("fce-only", fce_only),
+    ("defuse", defuse_elimination),
+    ("ssa-dce", ssa_dce),
+    ("single-pass", single_pass_pde),
+    ("naive-sinking", naive_sinking),
+    ("hoist+dce", hoist_then_eliminate),
+    ("lcm", lazy_code_motion),
+    ("value-numbering", value_numbering),
+)
+
+
+def check_one(seed: int) -> None:
+    for label, make in (
+        ("structured", lambda s: random_structured_program(s, size=18)),
+        ("arbitrary", lambda s: random_arbitrary_graph(s, n_blocks=9)),
+    ):
+        graph = make(seed)
+        for name, transform in TRANSFORMATIONS:
+            result = transform(graph)
+            assert_semantics_preserved(
+                result.original, result.graph, seeds=range(4)
+            ), f"{label}/{name}"
+        strong = pde(graph)
+        assert_never_slower(strong.original, strong.graph, seeds=range(4))
+        assert pde(strong.graph).graph == strong.graph, "pde not idempotent"
+
+        # Per-pass admissibility along the real alternation.
+        work = split_critical_edges(graph)
+        for _ in range(6):
+            changed = dead_code_elimination(work).changed
+            before = work.copy()
+            report = assignment_sinking(work)
+            check_sinking_admissible(before, report)
+            if not changed and not report.changed:
+                break
+
+        # Tidying after the fact stays faithful.
+        assert_semantics_preserved(strong.graph, tidy(strong.graph), seeds=range(3))
+
+
+def main() -> int:
+    count = int(sys.argv[1]) if len(sys.argv) > 1 else 50
+    start = int(sys.argv[2]) if len(sys.argv) > 2 else 0
+    failures = 0
+    for seed in range(start, start + count):
+        try:
+            check_one(seed)
+        except Exception:  # noqa: BLE001 — report and continue fuzzing
+            failures += 1
+            print(f"FAIL seed={seed}")
+            traceback.print_exc()
+        if (seed - start + 1) % 10 == 0:
+            print(f"... {seed - start + 1}/{count} seeds, {failures} failure(s)")
+    print(f"done: {count} seeds, {failures} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

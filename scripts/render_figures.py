@@ -1,0 +1,46 @@
+"""Render every paper figure as Graphviz before/after pairs.
+
+Writes ``figures_out/figNN_{before,after_pde[,after_pfe]}.dot``; turn
+them into images with e.g. ``dot -Tpng -O figures_out/*.dot``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro.core import pde, pfe
+from repro.figures import ALL_FIGURES
+from repro.ir.dot import to_dot
+
+
+def main(out_dir: str = "figures_out") -> int:
+    os.makedirs(out_dir, exist_ok=True)
+    written = []
+    for figure in ALL_FIGURES:
+        slug = figure.number.replace("-", "_")
+        before = figure.before()
+        result = pde(before)
+        pairs = [
+            (f"fig{slug}_before", result.original, f"Figure {figure.number}: before"),
+            (f"fig{slug}_after_pde", result.graph, f"Figure {figure.number}: after pde"),
+        ]
+        if figure.expected_pfe_text:
+            pairs.append(
+                (
+                    f"fig{slug}_after_pfe",
+                    pfe(before).graph,
+                    f"Figure {figure.number}: after pfe",
+                )
+            )
+        for name, graph, title in pairs:
+            path = os.path.join(out_dir, f"{name}.dot")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(to_dot(graph, title=title))
+            written.append(path)
+    print(f"wrote {len(written)} dot files to {out_dir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(*sys.argv[1:]))

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network, so
+PEP 517 editable installs (which build a wheel for metadata) fail.  This
+shim lets ``pip install -e . --no-build-isolation`` fall back to the
+legacy ``setup.py develop`` path.  All real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

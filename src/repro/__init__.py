@@ -1,0 +1,74 @@
+"""repro — a reproduction of Knoop, Rüthing & Steffen,
+"Partial Dead Code Elimination" (PLDI 1994).
+
+Quickstart::
+
+    from repro import parse_program, pde, format_side_by_side
+
+    program = parse_program('''
+        y := a + b;
+        if ? { skip; } else { y := 4; }
+        out(y);
+    ''')
+    result = pde(program)
+    print(format_side_by_side(result.original, result.graph))
+
+The package layout mirrors the paper:
+
+* :mod:`repro.ir` — flow graphs ``G = (N, E, s, e)`` (Section 2),
+* :mod:`repro.dataflow` — the analyses of Tables 1 and 2,
+* :mod:`repro.core` — the ``pde`` / ``pfe`` algorithm (Section 5) and the
+  optimality criterion (Definition 3.6),
+* :mod:`repro.baselines` — comparison algorithms from related work,
+* :mod:`repro.lcm` — lazy code motion (the dual transformation, [22, 23]),
+* :mod:`repro.interp` — the reference interpreter (semantics oracle),
+* :mod:`repro.figures` — the paper's Figures 1–13 as program pairs,
+* :mod:`repro.workloads` — random program generators for the Section 6
+  complexity study.
+"""
+
+from .core import (
+    OptimizationResult,
+    OptimizationStats,
+    compare,
+    dead_code_elimination,
+    faint_code_elimination,
+    is_better_or_equal,
+    optimize,
+    pde,
+    pfe,
+)
+from .ir import (
+    FlowGraph,
+    GraphBuilder,
+    format_graph,
+    format_side_by_side,
+    parse_program,
+    split_critical_edges,
+    to_dot,
+)
+from .interp import DecisionSequence, execute
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OptimizationResult",
+    "OptimizationStats",
+    "compare",
+    "dead_code_elimination",
+    "faint_code_elimination",
+    "is_better_or_equal",
+    "optimize",
+    "pde",
+    "pfe",
+    "FlowGraph",
+    "GraphBuilder",
+    "format_graph",
+    "format_side_by_side",
+    "parse_program",
+    "split_critical_edges",
+    "to_dot",
+    "DecisionSequence",
+    "execute",
+    "__version__",
+]

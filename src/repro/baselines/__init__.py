@@ -1,0 +1,21 @@
+"""Comparison algorithms from the paper's related-work discussion."""
+
+from .dce_only import BaselineResult, dce_only
+from .defuse import DefUseGraph, build_def_use_graph, defuse_elimination
+from .fce_only import fce_only
+from .naive_sinking import naive_sinking
+from .single_pass import single_pass_pde
+from .ssa_dce import SSABaselineResult, ssa_dce
+
+__all__ = [
+    "BaselineResult",
+    "dce_only",
+    "DefUseGraph",
+    "build_def_use_graph",
+    "defuse_elimination",
+    "fce_only",
+    "naive_sinking",
+    "single_pass_pde",
+    "SSABaselineResult",
+    "ssa_dce",
+]

@@ -1,0 +1,51 @@
+"""Baseline: classical (total) dead code elimination, no sinking.
+
+This is what the paper's "usual approaches" achieve (Section 1): an
+assignment is removed only when it is *totally* dead — dead on **all**
+paths.  Partially dead assignments such as the one in Figure 1 are out
+of scope.  Iterated to a fixpoint so that elimination-elimination chains
+(Figure 12) are captured, which the classical technique does handle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.cfg import FlowGraph
+from ..ir.splitting import split_critical_edges
+from ..core.eliminate import dead_code_elimination
+
+__all__ = ["BaselineResult", "dce_only"]
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of a baseline transformation (shared across baselines)."""
+
+    original: FlowGraph
+    graph: FlowGraph
+    passes: int
+    eliminated: int
+    name: str = ""
+
+
+def dce_only(graph: FlowGraph, split_edges: bool = True) -> BaselineResult:
+    """Iterated total dead code elimination.
+
+    ``split_edges`` keeps the branching structure aligned with the
+    :func:`repro.core.driver.pde` result so path-wise comparisons
+    (Definition 3.6) apply directly.
+    """
+    original = split_critical_edges(graph) if split_edges else graph.copy()
+    work = original.copy()
+    passes = 0
+    eliminated = 0
+    while True:
+        report = dead_code_elimination(work)
+        passes += 1
+        eliminated += len(report)
+        if not report.changed:
+            break
+    return BaselineResult(
+        original=original, graph=work, passes=passes, eliminated=eliminated, name="dce-only"
+    )

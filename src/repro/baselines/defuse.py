@@ -1,0 +1,141 @@
+"""Baseline: def-use-graph dead code elimination (paper Section 5.2).
+
+"Standard methods to dead code elimination are usually based on
+definition-use graphs [2, 21] … dead assignments can be identified
+indirectly by means of a simple marking algorithm working on the
+definition-use graph.  If this algorithm uses optimistic assumptions
+every faint assignment is detected in time proportional to the size of
+the graph.  Unfortunately, definition-use graphs are usually quite
+large, i.e. of order O(i²·v) in the worst case."
+
+This module builds the graph explicitly (so its size is measurable —
+the Section 6 comparison) and runs the optimistic marking:
+
+* uses in *relevant* statements (``out``, branch conditions, the virtual
+  global uses at ``e``) are live roots;
+* a definition is live when it reaches a live use;
+* the rhs uses of a live assignment become live in turn.
+
+Unmarked assignments are removed.  With optimistic assumptions this
+removes exactly the faint assignments, so the result agrees with
+:func:`repro.baselines.fce_only.fce_only` (a test asserts it); like that
+baseline it performs no sinking, so partially dead code survives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..ir.cfg import FlowGraph
+from ..ir.splitting import split_critical_edges
+from ..ir.stmts import Assign
+from ..dataflow.reaching import Definition, analyze_reaching
+from .dce_only import BaselineResult
+
+__all__ = ["DefUseGraph", "build_def_use_graph", "defuse_elimination"]
+
+Site = Tuple[str, int]  # (block, statement index)
+
+
+@dataclass
+class DefUseGraph:
+    """An explicit definition-use graph with size accounting."""
+
+    #: def site -> use sites its value may reach.
+    uses_of_def: Dict[Site, List[Site]] = field(default_factory=dict)
+    #: use site -> def sites that may reach it, per used variable.
+    defs_of_use: Dict[Site, List[Site]] = field(default_factory=dict)
+    #: Root use sites (relevant statements).
+    roots: List[Site] = field(default_factory=list)
+    #: Defs whose value may reach the end node's exit while global.
+    global_defs: List[Site] = field(default_factory=list)
+
+    @property
+    def edge_count(self) -> int:
+        """Size measure for the O(i²·v) discussion."""
+        return sum(len(uses) for uses in self.uses_of_def.values())
+
+
+def build_def_use_graph(graph: FlowGraph) -> DefUseGraph:
+    """Construct the def-use graph via reaching definitions."""
+    reaching = analyze_reaching(graph)
+    result = DefUseGraph()
+    for node, index, stmt in graph.assignments():
+        result.uses_of_def.setdefault((node, index), [])
+
+    for node in graph.nodes():
+        for index, stmt in enumerate(graph.statements(node)):
+            use_site = (node, index)
+            used = stmt.used()
+            if not used:
+                continue
+            reaching_defs: List[Site] = []
+            for var in sorted(used):
+                for definition in reaching.definitions_reaching(node, index, var):
+                    def_site = (definition.block, definition.index)
+                    reaching_defs.append(def_site)
+                    result.uses_of_def.setdefault(def_site, []).append(use_site)
+            result.defs_of_use[use_site] = reaching_defs
+            if stmt.is_relevant():
+                result.roots.append(use_site)
+
+    # Globals are virtually used at the exit of e (footnote 2).
+    if graph.globals:
+        exit_defs = _definitions_at_exit(graph, reaching)
+        for definition in exit_defs:
+            if definition.var in graph.globals:
+                result.global_defs.append((definition.block, definition.index))
+    return result
+
+
+def _definitions_at_exit(graph: FlowGraph, reaching) -> List[Definition]:
+    """Definitions reaching the exit of the end node."""
+    return list(reaching.definitions_in(reaching.exit(graph.end)))
+
+
+def defuse_elimination(graph: FlowGraph, split_edges: bool = True) -> BaselineResult:
+    """Optimistic def-use marking DCE (equivalent in power to ``fce``)."""
+    original = split_critical_edges(graph) if split_edges else graph.copy()
+    work = original.copy()
+    passes = 0
+    eliminated = 0
+    while True:
+        dug = build_def_use_graph(work)
+        live: Set[Site] = set()
+        worklist: List[Site] = []
+
+        def mark(site: Site) -> None:
+            if site not in live:
+                live.add(site)
+                worklist.append(site)
+
+        for root in dug.roots:
+            for def_site in dug.defs_of_use.get(root, []):
+                mark(def_site)
+        for def_site in dug.global_defs:
+            mark(def_site)
+        while worklist:
+            def_site = worklist.pop()
+            # The marked assignment's own rhs uses become live.
+            for upstream in dug.defs_of_use.get(def_site, []):
+                mark(upstream)
+
+        removed = 0
+        for node in work.nodes():
+            statements = list(work.statements(node))
+            kept = [
+                stmt
+                for index, stmt in enumerate(statements)
+                if not (isinstance(stmt, Assign) and (node, index) not in live)
+            ]
+            if len(kept) != len(statements):
+                work.set_statements(node, kept)
+                removed += len(statements) - len(kept)
+        passes += 1
+        eliminated += removed
+        if removed == 0:
+            break
+    return BaselineResult(
+        original=original, graph=work, passes=passes, eliminated=eliminated, name="defuse"
+    )

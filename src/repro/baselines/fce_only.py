@@ -1,0 +1,33 @@
+"""Baseline: faint code elimination without sinking ([16, 18]).
+
+Strictly more powerful than total dead code elimination (it removes the
+faint-but-not-dead loop of Figure 9, and the mutually-useless pair of
+Figure 12 in a single pass) but still blind to *partially* dead code —
+it never moves a statement.
+"""
+
+from __future__ import annotations
+
+from ..ir.cfg import FlowGraph
+from ..ir.splitting import split_critical_edges
+from ..core.eliminate import faint_code_elimination
+from .dce_only import BaselineResult
+
+__all__ = ["fce_only"]
+
+
+def fce_only(graph: FlowGraph, split_edges: bool = True) -> BaselineResult:
+    """Iterated faint code elimination (one pass normally suffices)."""
+    original = split_critical_edges(graph) if split_edges else graph.copy()
+    work = original.copy()
+    passes = 0
+    eliminated = 0
+    while True:
+        report = faint_code_elimination(work)
+        passes += 1
+        eliminated += len(report)
+        if not report.changed:
+            break
+    return BaselineResult(
+        original=original, graph=work, passes=passes, eliminated=eliminated, name="fce-only"
+    )

@@ -1,0 +1,187 @@
+"""Baseline: use-site instruction sinking in the style of Briggs/Cooper [4].
+
+The paper's related-work section notes that Briggs' and Cooper's
+instruction sinking "can significantly impair certain program
+executions, since instructions can be moved into loops in a way which
+cannot be 'repaired' by a subsequent partial redundancy elimination"
+— in Figure 6 their strategy would sink the instruction of node
+``S4,5`` into the loop to node 7, and LCM cannot hoist it back for
+safety reasons.
+
+This stand-in reproduces exactly that behaviour while staying
+semantics-preserving.  It greedily moves an assignment ``x := t`` to
+its unique use site when
+
+* ``x`` is not global and this is the only definition of ``x``,
+* ``x`` is used in exactly one statement (at block ``U``),
+* nothing after the assignment in its own block, in ``U`` before the
+  use, or in any block on a path between them blocks the move (no use
+  or redefinition of ``x``, no modification of ``t``'s operands).
+
+Crucially there is **no loop profitability check** — a use inside a
+loop pulls the assignment into the loop, the impairment ``pde`` is
+engineered to avoid (its delayability product over predecessors stops
+at loop headers).  The only loop-related guard is a *correctness* one:
+when the use block lies on a cycle, its tail must not clobber the moved
+value's operands, or per-iteration re-execution would change the value
+(found by the fuzzing soak; see EXPERIMENTS.md's war stories).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from ..ir.cfg import FlowGraph
+from ..ir.dominance import dominators
+from ..ir.splitting import split_critical_edges
+from ..ir.stmts import Assign, Statement
+from .dce_only import BaselineResult
+
+__all__ = ["naive_sinking"]
+
+Site = Tuple[str, int]
+
+
+def _uses_sites(graph: FlowGraph, var: str) -> List[Site]:
+    sites: List[Site] = []
+    for node in graph.nodes():
+        for index, stmt in enumerate(graph.statements(node)):
+            if var in stmt.used():
+                sites.append((node, index))
+    return sites
+
+
+def _def_sites(graph: FlowGraph, var: str) -> List[Site]:
+    return [
+        (node, index)
+        for node, index, stmt in graph.assignments()
+        if stmt.lhs == var
+    ]
+
+
+def _blocks_move(stmt: Statement, assign: Assign) -> bool:
+    modified = stmt.modified()
+    if modified is not None and (
+        modified == assign.lhs or modified in assign.rhs.variables()
+    ):
+        return True
+    return assign.lhs in stmt.used()
+
+
+def _clobbers(stmt: Statement, assign: Assign) -> bool:
+    """Does ``stmt`` overwrite the moved value or one of its operands?
+
+    Unlike :func:`_blocks_move` this ignores mere *uses* of the lhs —
+    the use site itself reads it, which is the point of the move."""
+    modified = stmt.modified()
+    return modified is not None and (
+        modified == assign.lhs or modified in assign.rhs.variables()
+    )
+
+
+def _self_reachable(graph: FlowGraph, node: str) -> bool:
+    """Can ``node`` reach itself (does it lie on a cycle)?"""
+    stack = list(graph.successors(node))
+    seen: Set[str] = set()
+    while stack:
+        current = stack.pop()
+        if current == node:
+            return True
+        if current in seen:
+            continue
+        seen.add(current)
+        stack.extend(graph.successors(current))
+    return False
+
+
+def _region_between(graph: FlowGraph, source: str, target: str) -> Set[str]:
+    """Blocks strictly between ``source`` and ``target``: reachable from
+    ``source`` without passing through ``target``, and reaching
+    ``target``."""
+    forward: Set[str] = set()
+    stack = [s for s in graph.successors(source)]
+    while stack:
+        node = stack.pop()
+        if node in forward or node == target:
+            continue
+        forward.add(node)
+        stack.extend(graph.successors(node))
+    backward: Set[str] = set()
+    stack = [p for p in graph.predecessors(target)]
+    while stack:
+        node = stack.pop()
+        if node in backward or node == source:
+            continue
+        backward.add(node)
+        stack.extend(graph.predecessors(node))
+    return forward & backward
+
+
+def _try_move(graph: FlowGraph) -> bool:
+    """Perform the first eligible move; return True when one was made."""
+    dom = dominators(graph)
+    for node, index, stmt in list(graph.assignments()):
+        if stmt.lhs in graph.globals:
+            continue
+        if len(_def_sites(graph, stmt.lhs)) != 1:
+            continue
+        uses = _uses_sites(graph, stmt.lhs)
+        if len(uses) != 1:
+            continue
+        (use_block, use_index) = uses[0]
+        if use_block == node:
+            continue  # local move only reorders within a block; skip
+        if node not in dom.get(use_block, frozenset()):
+            continue  # the definition must dominate the use
+
+        statements = graph.statements(node)
+        if any(_blocks_move(other, stmt) for other in statements[index + 1 :]):
+            continue
+        target_statements = graph.statements(use_block)
+        if any(_blocks_move(other, stmt) for other in target_statements[:use_index]):
+            continue
+        # When the use block lies on a cycle, the moved definition
+        # re-executes every iteration: the use statement and the block's
+        # tail then sit *between* consecutive executions, so they must
+        # not overwrite the value or its operands (a loop that merely
+        # reads it — Figure 6's y := y + x — is the impairment this
+        # baseline intentionally permits; one that clobbers the operands
+        # would be a miscompile).
+        if _self_reachable(graph, use_block) and any(
+            _clobbers(other, stmt) for other in target_statements[use_index:]
+        ):
+            continue
+        region = _region_between(graph, node, use_block)
+        if node in region:
+            continue  # the definition's own block lies on a cycle to the use
+        blocked = False
+        for middle in region:
+            if any(_blocks_move(other, stmt) for other in graph.statements(middle)):
+                blocked = True
+                break
+        if blocked:
+            continue
+        # Dominance + single definition + clean region: the moved
+        # computation yields the same value at the use.  It may still
+        # *duplicate work* by landing inside a loop — that is the point
+        # of this baseline.
+        remaining = list(statements)
+        del remaining[index]
+        graph.set_statements(node, remaining)
+        updated = list(graph.statements(use_block))
+        updated.insert(use_index, stmt)
+        graph.set_statements(use_block, updated)
+        return True
+    return False
+
+
+def naive_sinking(graph: FlowGraph, split_edges: bool = True, max_moves: int = 1000) -> BaselineResult:
+    """Greedy use-site sinking (no loop protection), then nothing else."""
+    original = split_critical_edges(graph) if split_edges else graph.copy()
+    work = original.copy()
+    moves = 0
+    while moves < max_moves and _try_move(work):
+        moves += 1
+    return BaselineResult(
+        original=original, graph=work, passes=moves, eliminated=0, name="naive-sinking"
+    )

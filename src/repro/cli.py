@@ -1,0 +1,263 @@
+"""Command-line interface.
+
+::
+
+    pde optimize program.pde                 # run PDE, print the result
+    pde optimize --variant pfe --diff p.pde  # PFE, before/after columns
+    pde optimize --dot p.pde > out.dot       # Graphviz of the result
+    pde analyze p.pde                        # dump Table 1/2 analyses
+    pde explain p.pde                        # narrate round by round
+    pde profile p.pde                        # Monte-Carlo cost before/after
+    pde compile --opt --peephole p.pde       # lower to bytecode
+    pde figures                              # list the paper figures
+    pde figures --run 5-6                    # reproduce one figure
+
+Programs are read in either surface form (see ``repro.ir.parser``); use
+``-`` for stdin.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .core.driver import optimize
+from .dataflow.dead import analyze_dead
+from .dataflow.delay import analyze_delayability
+from .dataflow.faint import analyze_faint
+from .figures import ALL_FIGURES
+from .ir.cfg import FlowGraph
+from .ir.dot import to_dot
+from .ir.parser import ParseError, parse_program
+from .ir.printer import format_graph, format_side_by_side
+from .ir.splitting import split_critical_edges
+
+__all__ = ["main"]
+
+
+def _read_program(path: str) -> FlowGraph:
+    if path == "-":
+        return parse_program(sys.stdin.read())
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_program(handle.read())
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    graph = _read_program(args.program)
+    if args.verify:
+        from .core.verify import verified_pde, verified_pfe
+
+        runner = verified_pfe if args.variant == "pfe" else verified_pde
+        result = runner(graph)
+        oracles = ", ".join(result.verification.oracles)
+        print(f"# verified: {oracles}", file=sys.stderr)
+    else:
+        result = optimize(graph, variant=args.variant)
+    if args.dot:
+        print(to_dot(result.graph, title=f"{args.variant}({args.program})"))
+    elif args.diff:
+        print(format_side_by_side(result.original, result.graph))
+    else:
+        print(format_graph(result.graph), end="")
+    if args.stats:
+        stats = result.stats
+        print(
+            f"# rounds={stats.rounds} r={stats.component_applications} "
+            f"eliminated={stats.eliminated} sunk={stats.sunk_removed}"
+            f"->{stats.sunk_inserted} "
+            f"instructions={stats.original_instructions}->{stats.final_instructions} "
+            f"w={stats.code_growth_factor:.2f}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Narrate the optimisation round by round."""
+    graph = _read_program(args.program)
+    result = optimize(graph, variant=args.variant, trace=True)
+    print(f"# input ({result.original.instruction_count()} instructions, "
+          f"critical edges split)")
+    print(format_graph(result.original))
+    step_name = "fce" if args.variant == "pfe" else "dce"
+    for number, record in enumerate(result.stats.history, start=1):
+        print(f"# ── round {number} ──")
+        if record.elimination.removed:
+            for block, index, pattern in record.elimination.removed:
+                print(f"#   {step_name}: removed {pattern!r} from block {block}")
+        else:
+            print(f"#   {step_name}: nothing to eliminate")
+        if record.sinking.removed or record.sinking.inserted:
+            for block, _index, pattern in record.sinking.removed:
+                print(f"#   ask: candidate {pattern!r} leaves block {block}")
+            for block, where, pattern in record.sinking.inserted:
+                print(f"#   ask: instance {pattern!r} inserted at {where} of {block}")
+        else:
+            print("#   ask: nothing to sink")
+        if record.after_sinking is not None and (
+            record.elimination.changed or record.sinking.changed
+        ):
+            print(format_graph(record.after_sinking))
+    stats = result.stats
+    print(
+        f"# stabilised after {stats.rounds} round(s): "
+        f"{stats.eliminated} eliminated, {stats.sunk_removed} sunk, "
+        f"{stats.original_instructions} -> {stats.final_instructions} instructions"
+    )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    graph = split_critical_edges(_read_program(args.program))
+    print(format_graph(graph))
+    dead = analyze_dead(graph)
+    faint = analyze_faint(graph)
+    delay = analyze_delayability(graph)
+    print("# Table 1 — dead / faint variables")
+    for node in graph.nodes():
+        print(
+            f"  {node}: N-DEAD={dead.universe.format(dead.entry(node))} "
+            f"X-DEAD={dead.universe.format(dead.exit(node))} "
+            f"N-FAINT={faint.universe.format(faint.entry(node))} "
+            f"X-FAINT={faint.universe.format(faint.exit(node))}"
+        )
+    print("# Table 2 — delayability / insertion points")
+    universe = delay.patterns.universe
+    for node in graph.nodes():
+        print(
+            f"  {node}: N-DELAYED={universe.format(delay.n_delayed[node])} "
+            f"X-DELAYED={universe.format(delay.x_delayed[node])} "
+            f"N-INSERT={universe.format(delay.n_insert(node))} "
+            f"X-INSERT={universe.format(delay.x_insert(node))}"
+        )
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    """Lower (optionally after optimising) to bytecode and list it."""
+    from .codegen import format_listing, lower, peephole
+
+    graph = _read_program(args.program)
+    if args.opt:
+        graph = optimize(graph, variant=args.variant).graph
+    else:
+        graph = split_critical_edges(graph)
+    program = lower(graph)
+    if args.peephole:
+        program = peephole(program)
+    print(format_listing(program))
+    print(f"; {len(program)} instructions", file=sys.stderr)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Monte-Carlo profile: expected cost before/after, hottest blocks."""
+    from .interp.profile import collect_profile, hottest_blocks
+
+    graph = _read_program(args.program)
+    result = optimize(graph, variant=args.variant)
+    before = collect_profile(result.original, trials=args.trials, seed=args.seed)
+    after = collect_profile(result.graph, trials=args.trials, seed=args.seed)
+    print(f"# {args.trials} sampled executions (seed {args.seed})")
+    print(f"expected executed assignments: {before.mean_assignments:.2f} -> "
+          f"{after.mean_assignments:.2f}")
+    if before.mean_assignments > 0:
+        saved = 1 - after.mean_assignments / before.mean_assignments
+        print(f"saving: {saved:.1%}")
+    print("hottest blocks (before):")
+    for name, freq in hottest_blocks(
+        result.original, top=5, trials=args.trials, seed=args.seed
+    ):
+        print(f"  {name:>8}: {freq:6.2f} visits/run")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    if not args.run:
+        for figure in ALL_FIGURES:
+            print(f"{figure.number:>4}  {figure.title}")
+        return 0
+    for figure in ALL_FIGURES:
+        if figure.number == args.run:
+            result = optimize(figure.before(), variant=args.variant)
+            print(f"Figure {figure.number}: {figure.title}")
+            print(f"Claim: {figure.claim}\n")
+            print(format_side_by_side(result.original, result.graph))
+            expected = (
+                figure.expected_pfe() if args.variant == "pfe" else figure.expected_pde()
+            )
+            if expected is not None:
+                verdict = "matches" if result.graph == expected else "DIFFERS FROM"
+                print(f"Result {verdict} the frozen expectation.")
+            return 0
+    print(f"unknown figure {args.run!r}", file=sys.stderr)
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The complete argument parser (exposed for shell-completion tools)."""
+    parser = argparse.ArgumentParser(
+        prog="pde",
+        description="Partial dead code elimination (Knoop/Rüthing/Steffen, PLDI 1994)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    opt = sub.add_parser("optimize", help="optimise a program")
+    opt.add_argument("program", help="program file, or - for stdin")
+    opt.add_argument("--variant", choices=("pde", "pfe"), default="pde")
+    opt.add_argument("--diff", action="store_true", help="show before/after columns")
+    opt.add_argument("--dot", action="store_true", help="emit Graphviz instead of text")
+    opt.add_argument("--stats", action="store_true", help="print statistics to stderr")
+    opt.add_argument(
+        "--verify",
+        action="store_true",
+        help="certify the result against all oracles before printing",
+    )
+    opt.set_defaults(func=_cmd_optimize)
+
+    ana = sub.add_parser("analyze", help="dump the Table 1/2 analyses")
+    ana.add_argument("program", help="program file, or - for stdin")
+    ana.set_defaults(func=_cmd_analyze)
+
+    exp = sub.add_parser("explain", help="narrate the optimisation round by round")
+    exp.add_argument("program", help="program file, or - for stdin")
+    exp.add_argument("--variant", choices=("pde", "pfe"), default="pde")
+    exp.set_defaults(func=_cmd_explain)
+
+    comp = sub.add_parser("compile", help="lower to bytecode (optionally optimised)")
+    comp.add_argument("program", help="program file, or - for stdin")
+    comp.add_argument("--opt", action="store_true", help="run pde/pfe before lowering")
+    comp.add_argument("--peephole", action="store_true", help="coalesce lowering copies")
+    comp.add_argument("--variant", choices=("pde", "pfe"), default="pde")
+    comp.set_defaults(func=_cmd_compile)
+
+    prof = sub.add_parser("profile", help="Monte-Carlo cost profile before/after")
+    prof.add_argument("program", help="program file, or - for stdin")
+    prof.add_argument("--variant", choices=("pde", "pfe"), default="pde")
+    prof.add_argument("--trials", type=int, default=200)
+    prof.add_argument("--seed", type=int, default=0)
+    prof.set_defaults(func=_cmd_profile)
+
+    fig = sub.add_parser("figures", help="list or reproduce paper figures")
+    fig.add_argument("--run", help="figure number to reproduce (e.g. 5-6)")
+    fig.add_argument("--variant", choices=("pde", "pfe"), default="pde")
+    fig.set_defaults(func=_cmd_figures)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ParseError as error:
+        print(f"parse error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"cannot read program: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Bytecode backend: lower optimised flow graphs to a small register
+machine and execute them — the optimisation measured in executed
+machine instructions."""
+
+from .isa import Instruction, OPCODES, format_listing
+from .lower import BytecodeProgram, lower
+from .peephole import peephole
+from .vm import VMRun, run_bytecode
+
+__all__ = [
+    "Instruction",
+    "OPCODES",
+    "format_listing",
+    "BytecodeProgram",
+    "lower",
+    "peephole",
+    "VMRun",
+    "run_bytecode",
+]

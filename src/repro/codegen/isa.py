@@ -1,0 +1,108 @@
+"""A small register-machine instruction set.
+
+The paper's transformations live on flow graphs; a real compiler then
+lowers the optimised graph to machine code.  This tiny ISA closes that
+loop: flow graphs compile to linear bytecode
+(:mod:`repro.codegen.lower`) executed by a VM (:mod:`repro.codegen.vm`),
+so the effect of partial dead code elimination can be measured in
+*executed machine instructions* rather than source statements.
+
+Instructions (three-address, unlimited virtual registers):
+
+========  ============================  =====================================
+opcode    operands                      meaning
+========  ============================  =====================================
+LOADI     dst, imm                      dst ← imm
+MOV       dst, src                      dst ← src
+ADD/SUB/  dst, lhs, rhs                 dst ← lhs op rhs (division and
+MUL/DIV/                                 modulo trap on zero, truncating)
+MOD
+NEG/NOT   dst, src                      dst ← -src / (src == 0)
+CMP<op>   dst, lhs, rhs                 dst ← lhs <op> rhs (0/1); op ∈
+                                         {LT, LE, GT, GE, EQ, NE}
+JMP       target                        unconditional branch
+JZ        src, target                   branch when src == 0
+CHOOSE    target                        nondeterministic two-way branch:
+                                         consult the decision oracle; fall
+                                         through on 0, jump on 1
+OUT       src                           emit the value of src
+HALT      —                             stop
+========  ============================  =====================================
+
+Registers are named strings (virtual registers carry their source
+variable names, temporaries are ``$tN``), keeping the bytecode
+readable and the lowering honest — no register allocator is pretended.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["Instruction", "OPCODES", "format_instruction", "format_listing"]
+
+#: All opcodes with their operand shapes (``r`` register, ``i``
+#: immediate, ``l`` label/target).
+OPCODES = {
+    "LOADI": ("r", "i"),
+    "MOV": ("r", "r"),
+    "ADD": ("r", "r", "r"),
+    "SUB": ("r", "r", "r"),
+    "MUL": ("r", "r", "r"),
+    "DIV": ("r", "r", "r"),
+    "MOD": ("r", "r", "r"),
+    "NEG": ("r", "r"),
+    "NOT": ("r", "r"),
+    "CMPLT": ("r", "r", "r"),
+    "CMPLE": ("r", "r", "r"),
+    "CMPGT": ("r", "r", "r"),
+    "CMPGE": ("r", "r", "r"),
+    "CMPEQ": ("r", "r", "r"),
+    "CMPNE": ("r", "r", "r"),
+    "JMP": ("l",),
+    "JZ": ("r", "l"),
+    "CHOOSE": ("l",),
+    "SELECT": ("l*",),  # n-way nondeterministic jump table (n ≥ 3)
+    "OUT": ("r",),
+    "HALT": (),
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One bytecode instruction."""
+
+    opcode: str
+    operands: Tuple = ()
+    #: Source block this instruction was lowered from (diagnostics).
+    source_block: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.opcode not in OPCODES:
+            raise ValueError(f"unknown opcode {self.opcode!r}")
+        shape = OPCODES[self.opcode]
+        if shape and shape[-1] == "l*":
+            if len(self.operands) < 3:
+                raise ValueError(f"{self.opcode} expects at least 3 targets")
+        elif len(shape) != len(self.operands):
+            raise ValueError(
+                f"{self.opcode} expects {len(shape)} operand(s), "
+                f"got {len(self.operands)}"
+            )
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(op) for op in self.operands)
+        return f"{self.opcode} {rendered}".rstrip()
+
+
+def format_instruction(index: int, instruction: Instruction) -> str:
+    origin = f"  ; {instruction.source_block}" if instruction.source_block else ""
+    return f"{index:4}: {instruction}{origin}"
+
+
+def format_listing(program) -> str:
+    """A human-readable listing of a bytecode program."""
+    return "\n".join(
+        format_instruction(index, instruction)
+        for index, instruction in enumerate(program)
+    )

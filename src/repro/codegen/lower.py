@@ -1,0 +1,191 @@
+"""Lowering flow graphs to bytecode.
+
+Blocks are laid out in a depth-first order from the start node;
+fall-through edges need no jump, everything else gets ``JMP``/``JZ``/
+``CHOOSE``.  Expressions lower to three-address code with fresh
+temporaries (``$tN``); variables keep their names as registers.
+
+Branch lowering mirrors the interpreter's semantics exactly:
+
+* a block ending in ``branch c`` emits ``JZ c-register, <second
+  successor>`` and falls through / jumps to the first;
+* a two-way block *without* a condition is the paper's nondeterministic
+  branch: ``CHOOSE <second successor>`` consults the VM's decision
+  oracle, taking the first successor on 0 — so the same
+  :class:`~repro.interp.interpreter.DecisionSequence` drives source
+  interpretation and bytecode execution, and the two must agree
+  output-for-output (the differential tests assert this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..ir.cfg import FlowGraph
+from ..ir.exprs import BinOp, Const, Expr, UnaryOp, Var
+from ..ir.stmts import Assign, Branch, Out, Skip
+from .isa import Instruction
+
+__all__ = ["BytecodeProgram", "lower"]
+
+_BINOPS = {
+    "+": "ADD",
+    "-": "SUB",
+    "*": "MUL",
+    "/": "DIV",
+    "%": "MOD",
+    "<": "CMPLT",
+    "<=": "CMPLE",
+    ">": "CMPGT",
+    ">=": "CMPGE",
+    "==": "CMPEQ",
+    "!=": "CMPNE",
+}
+
+
+@dataclass
+class BytecodeProgram:
+    """A lowered program: instructions plus layout metadata."""
+
+    instructions: List[Instruction] = field(default_factory=list)
+    #: First instruction index of each source block.
+    block_offsets: Dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+
+class _Lowering:
+    def __init__(self, graph: FlowGraph) -> None:
+        self.graph = graph
+        self.program = BytecodeProgram()
+        self._temp_counter = 0
+        self._fixups: List[Tuple[int, str]] = []  # (instruction idx, block)
+        #: (instruction idx, operand position, block) for SELECT tables.
+        self._table_fixups: List[Tuple[int, int, str]] = []
+
+    def fresh_temp(self) -> str:
+        self._temp_counter += 1
+        return f"$t{self._temp_counter}"
+
+    def emit(self, opcode: str, *operands, block: str) -> int:
+        self.program.instructions.append(
+            Instruction(opcode, tuple(operands), source_block=block)
+        )
+        return len(self.program.instructions) - 1
+
+    # -- expressions -------------------------------------------------
+    def lower_expr(self, expr: Expr, block: str) -> str:
+        """Lower ``expr``; returns the register holding its value."""
+        if isinstance(expr, Var):
+            return expr.name
+        if isinstance(expr, Const):
+            temp = self.fresh_temp()
+            self.emit("LOADI", temp, expr.value, block=block)
+            return temp
+        if isinstance(expr, UnaryOp):
+            source = self.lower_expr(expr.operand, block)
+            temp = self.fresh_temp()
+            self.emit("NEG" if expr.op == "-" else "NOT", temp, source, block=block)
+            return temp
+        if isinstance(expr, BinOp):
+            lhs = self.lower_expr(expr.left, block)
+            rhs = self.lower_expr(expr.right, block)
+            temp = self.fresh_temp()
+            self.emit(_BINOPS[expr.op], temp, lhs, rhs, block=block)
+            return temp
+        raise TypeError(f"cannot lower {expr!r}")
+
+    # -- blocks ------------------------------------------------------
+    def lower_block(self, name: str, layout_next: str | None) -> None:
+        self.program.block_offsets[name] = len(self.program.instructions)
+        statements = self.graph.statements(name)
+        branch_cond: str | None = None
+        for stmt in statements:
+            if isinstance(stmt, Assign):
+                value = self.lower_expr(stmt.rhs, name)
+                self.emit("MOV", stmt.lhs, value, block=name)
+            elif isinstance(stmt, Out):
+                value = self.lower_expr(stmt.expr, name)
+                self.emit("OUT", value, block=name)
+            elif isinstance(stmt, Branch):
+                branch_cond = self.lower_expr(stmt.cond, name)
+            elif isinstance(stmt, Skip):
+                pass
+
+        successors = self.graph.successors(name)
+        if not successors:
+            self.emit("HALT", block=name)
+            return
+        if len(successors) == 1:
+            if successors[0] != layout_next:
+                index = self.emit("JMP", 0, block=name)
+                self._fixups.append((index, successors[0]))
+            return
+        if len(successors) > 2:
+            # n-way nondeterministic branch: a jump table consuming one
+            # oracle decision modulo n, exactly like the interpreter.
+            index = self.emit("SELECT", *([0] * len(successors)), block=name)
+            for position, target in enumerate(successors):
+                self._table_fixups.append((index, position, target))
+            return
+        first, second = successors
+        if branch_cond is not None:
+            # branch c: c != 0 → first successor, else second.
+            index = self.emit("JZ", branch_cond, 0, block=name)
+            self._fixups.append((index, second))
+        else:
+            index = self.emit("CHOOSE", 0, block=name)
+            self._fixups.append((index, second))
+        if first != layout_next:
+            index = self.emit("JMP", 0, block=name)
+            self._fixups.append((index, first))
+
+    def run(self) -> BytecodeProgram:
+        # Depth-first layout from the start node; unreached blocks are
+        # appended (validated graphs have none).
+        order: List[str] = []
+        seen = set()
+        stack = [self.graph.start]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            order.append(node)
+            stack.extend(reversed(self.graph.successors(node)))
+        for node in self.graph.nodes():
+            if node not in seen:
+                order.append(node)
+
+        for position, name in enumerate(order):
+            layout_next = order[position + 1] if position + 1 < len(order) else None
+            self.lower_block(name, layout_next)
+
+        # Resolve branch targets.
+        for index, target_block in self._fixups:
+            target = self.program.block_offsets[target_block]
+            instruction = self.program.instructions[index]
+            operands = list(instruction.operands)
+            operands[-1] = target
+            self.program.instructions[index] = Instruction(
+                instruction.opcode, tuple(operands), instruction.source_block
+            )
+        for index, position, target_block in self._table_fixups:
+            target = self.program.block_offsets[target_block]
+            instruction = self.program.instructions[index]
+            operands = list(instruction.operands)
+            operands[position] = target
+            self.program.instructions[index] = Instruction(
+                instruction.opcode, tuple(operands), instruction.source_block
+            )
+        return self.program
+
+
+def lower(graph: FlowGraph) -> BytecodeProgram:
+    """Compile ``graph`` to bytecode."""
+    return _Lowering(graph).run()

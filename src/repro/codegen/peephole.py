@@ -1,0 +1,125 @@
+"""Peephole optimisation of lowered bytecode.
+
+Naive three-address lowering produces ``<op> $tN, …; MOV x, $tN`` pairs
+— one copy per assignment.  Two classic, obviously-safe rewrites clean
+most of it up:
+
+* **copy coalescing** — when a ``$t`` temporary is defined by one
+  instruction, consumed by the immediately following ``MOV``, and never
+  mentioned anywhere else, the definition writes the ``MOV``'s target
+  directly and the ``MOV`` disappears;
+* **self-move removal** — ``MOV x, x`` disappears.
+
+Deletions re-index every jump target and block offset through an
+old→new map, and a fusion is refused when the ``MOV`` is itself a jump
+target (fusing across a label would change what the jump lands on).
+Behaviour is differentially tested against the unpeepholed program.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from .isa import Instruction, OPCODES
+from .lower import BytecodeProgram
+
+__all__ = ["peephole"]
+
+_TARGET_POSITIONS = {
+    "JMP": (0,),
+    "JZ": (1,),
+    "CHOOSE": (0,),
+}
+
+
+def _target_positions(instruction: Instruction):
+    if instruction.opcode == "SELECT":
+        return tuple(range(len(instruction.operands)))
+    return _TARGET_POSITIONS.get(instruction.opcode, ())
+
+
+def _defines_temp(instruction: Instruction) -> str | None:
+    """The ``$t`` register this instruction writes, if any."""
+    shape = OPCODES[instruction.opcode]
+    if not shape or shape[0] != "r" or instruction.opcode in ("OUT", "JZ"):
+        return None
+    destination = instruction.operands[0]
+    if isinstance(destination, str) and destination.startswith("$t"):
+        return destination
+    return None
+
+
+def peephole(program: BytecodeProgram) -> BytecodeProgram:
+    """A peepholed copy of ``program``."""
+    old = list(program.instructions)
+
+    mention_count: Dict[str, int] = {}
+    for instruction in old:
+        for operand, kind in zip(instruction.operands, OPCODES[instruction.opcode]):
+            if kind == "r" and isinstance(operand, str) and operand.startswith("$t"):
+                mention_count[operand] = mention_count.get(operand, 0) + 1
+
+    jump_targets: Set[int] = set()
+    for instruction in old:
+        for position in _target_positions(instruction):
+            jump_targets.add(instruction.operands[position])
+
+    new: List[Instruction] = []
+    old_to_new: Dict[int, int] = {}
+    index = 0
+    while index < len(old):
+        old_to_new[index] = len(new)
+        instruction = old[index]
+
+        # Self-move removal (never fusable, check first).
+        if (
+            instruction.opcode == "MOV"
+            and instruction.operands[0] == instruction.operands[1]
+        ):
+            index += 1
+            continue
+
+        # Copy coalescing with the immediately following MOV.
+        temp = _defines_temp(instruction)
+        if (
+            temp is not None
+            and mention_count.get(temp, 0) == 2
+            and index + 1 < len(old)
+            and old[index + 1].opcode == "MOV"
+            and old[index + 1].operands[1] == temp
+            and (index + 1) not in jump_targets
+        ):
+            mov = old[index + 1]
+            old_to_new[index + 1] = len(new)
+            new.append(
+                Instruction(
+                    instruction.opcode,
+                    (mov.operands[0],) + instruction.operands[1:],
+                    instruction.source_block,
+                )
+            )
+            index += 2
+            continue
+
+        new.append(instruction)
+        index += 1
+    old_to_new[len(old)] = len(new)
+
+    def retarget(target: int) -> int:
+        return old_to_new[target]
+
+    for position_in_new, instruction in enumerate(new):
+        positions = _target_positions(instruction)
+        if not positions:
+            continue
+        operands = list(instruction.operands)
+        for position in positions:
+            operands[position] = retarget(operands[position])
+        new[position_in_new] = Instruction(
+            instruction.opcode, tuple(operands), instruction.source_block
+        )
+
+    result = BytecodeProgram(instructions=new)
+    for block, offset in program.block_offsets.items():
+        result.block_offsets[block] = retarget(offset)
+    return result

@@ -1,0 +1,124 @@
+"""The bytecode virtual machine.
+
+Executes :class:`~repro.codegen.lower.BytecodeProgram` under the same
+decision oracle as the source-level interpreter, recording the dynamic
+measurements the evaluation layer wants:
+
+* executed instruction count, total and per opcode,
+* the ``OUT`` value sequence (observable semantics),
+* trap information (division by zero — footnote 3's error model).
+
+Differential testing pins the whole pipeline: for any program, source
+interpretation and compiled execution under the same decisions must
+produce identical outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..interp.interpreter import DecisionSequence, InterpreterError
+from .lower import BytecodeProgram
+
+__all__ = ["VMRun", "run_bytecode"]
+
+
+@dataclass
+class VMRun:
+    """Observable outcome of one bytecode execution."""
+
+    outputs: List[int] = field(default_factory=list)
+    registers: Dict[str, int] = field(default_factory=dict)
+    executed: int = 0
+    per_opcode: Dict[str, int] = field(default_factory=dict)
+    trap: Optional[str] = None
+
+    def observable(self):
+        return (tuple(self.outputs), self.trap)
+
+
+def run_bytecode(
+    program: BytecodeProgram,
+    env: Optional[Dict[str, int]] = None,
+    decisions: Optional[DecisionSequence] = None,
+    max_steps: int = 100_000,
+) -> VMRun:
+    """Execute ``program`` from instruction 0 until ``HALT``."""
+    run = VMRun(registers=dict(env) if env else {})
+    registers = run.registers
+
+    def read(name: str) -> int:
+        return registers.get(name, 0)
+
+    pc = 0
+    instructions = program.instructions
+    while True:
+        if run.executed >= max_steps:
+            raise InterpreterError(f"exceeded {max_steps} executed instructions")
+        if pc < 0 or pc >= len(instructions):
+            raise InterpreterError(f"program counter {pc} out of range")
+        instruction = instructions[pc]
+        run.executed += 1
+        run.per_opcode[instruction.opcode] = (
+            run.per_opcode.get(instruction.opcode, 0) + 1
+        )
+        opcode = instruction.opcode
+        ops = instruction.operands
+        pc += 1
+
+        if opcode == "LOADI":
+            registers[ops[0]] = ops[1]
+        elif opcode == "MOV":
+            registers[ops[0]] = read(ops[1])
+        elif opcode in ("ADD", "SUB", "MUL"):
+            lhs, rhs = read(ops[1]), read(ops[2])
+            if opcode == "ADD":
+                registers[ops[0]] = lhs + rhs
+            elif opcode == "SUB":
+                registers[ops[0]] = lhs - rhs
+            else:
+                registers[ops[0]] = lhs * rhs
+        elif opcode in ("DIV", "MOD"):
+            lhs, rhs = read(ops[1]), read(ops[2])
+            if rhs == 0:
+                run.trap = "division by zero" if opcode == "DIV" else "modulo by zero"
+                return run
+            quotient = int(lhs / rhs)  # truncating, as in the source language
+            registers[ops[0]] = quotient if opcode == "DIV" else lhs - quotient * rhs
+        elif opcode == "NEG":
+            registers[ops[0]] = -read(ops[1])
+        elif opcode == "NOT":
+            registers[ops[0]] = int(read(ops[1]) == 0)
+        elif opcode.startswith("CMP"):
+            lhs, rhs = read(ops[1]), read(ops[2])
+            registers[ops[0]] = int(
+                {
+                    "CMPLT": lhs < rhs,
+                    "CMPLE": lhs <= rhs,
+                    "CMPGT": lhs > rhs,
+                    "CMPGE": lhs >= rhs,
+                    "CMPEQ": lhs == rhs,
+                    "CMPNE": lhs != rhs,
+                }[opcode]
+            )
+        elif opcode == "JMP":
+            pc = ops[0]
+        elif opcode == "JZ":
+            if read(ops[0]) == 0:
+                pc = ops[1]
+        elif opcode == "CHOOSE":
+            if decisions is None:
+                raise InterpreterError("CHOOSE without a decision oracle")
+            if decisions.next_decision(2):
+                pc = ops[0]
+        elif opcode == "SELECT":
+            if decisions is None:
+                raise InterpreterError("SELECT without a decision oracle")
+            pc = ops[decisions.next_decision(len(ops))]
+        elif opcode == "OUT":
+            run.outputs.append(read(ops[0]))
+        elif opcode == "HALT":
+            return run
+        else:  # pragma: no cover — the ISA is closed
+            raise InterpreterError(f"unimplemented opcode {opcode}")

@@ -1,0 +1,47 @@
+"""The paper's primary contribution: optimal partial dead (faint) code
+elimination by exhaustive assignment sinking + elimination."""
+
+from .driver import (
+    NonTermination,
+    OptimizationResult,
+    OptimizationStats,
+    optimize,
+    pde,
+    pfe,
+)
+from .eliminate import (
+    EliminationReport,
+    dead_code_elimination,
+    faint_code_elimination,
+)
+from .optimality import Comparison, compare, is_better_or_equal, path_pattern_counts
+from .sink import SinkingError, SinkingReport, assignment_sinking
+from .verify import (
+    VerificationError,
+    VerificationReport,
+    verified_pde,
+    verified_pfe,
+)
+
+__all__ = [
+    "NonTermination",
+    "OptimizationResult",
+    "OptimizationStats",
+    "optimize",
+    "pde",
+    "pfe",
+    "EliminationReport",
+    "dead_code_elimination",
+    "faint_code_elimination",
+    "Comparison",
+    "compare",
+    "is_better_or_equal",
+    "path_pattern_counts",
+    "SinkingError",
+    "SinkingReport",
+    "assignment_sinking",
+    "VerificationError",
+    "VerificationReport",
+    "verified_pde",
+    "verified_pfe",
+]

@@ -1,0 +1,230 @@
+"""Executable admissibility (Definitions 3.1 / 3.2).
+
+An assignment sinking for a pattern ``α ≡ x := t`` is *admissible* iff
+
+1. **removed occurrences are substituted**: on every path from a removal
+   point to ``e``, an instance of ``α`` is inserted at some later point
+   with no ``α``-blocking instruction in between — unless ``α`` is
+   blocked by nothing all the way to ``e`` (then the value is provably
+   unused on that path and dropping it is the correct substitution);
+2. **inserted instances are justified**: on every path from ``s`` to an
+   insertion point, an occurrence of ``α`` was removed at some earlier
+   point with no ``α``-blocking instruction in between.
+
+This module checks both conditions for a concrete
+:class:`~repro.core.sink.SinkingReport` against the before/after program
+pair.  Both conditions are all-paths properties with cycles resolving
+coinductively (a cycle carrying neither blockers nor insertions proves
+the value unused around it), so each is computed as a **greatest
+fixpoint** over block boundary points — linear in the program, no path
+enumeration.  The property tests certify every ``ask`` pass the driver
+performs against this independent implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..ir.cfg import FlowGraph
+from ..ir.stmts import Assign
+from ..dataflow.patterns import PatternInfo, blocks_sinking
+from .sink import SinkingReport
+
+__all__ = ["AdmissibilityViolation", "check_sinking_admissible"]
+
+
+class AdmissibilityViolation(AssertionError):
+    """A sinking pass violated Definition 3.2."""
+
+
+@dataclass
+class _PatternPlan:
+    """Removals and insertions of one pattern in one ask pass."""
+
+    info: PatternInfo
+    #: Blocks where an occurrence was removed, with the index it had in
+    #: the *before* program.
+    removals: List[Tuple[str, int]] = field(default_factory=list)
+    #: ``(block, "entry" | "exit")`` insertion points.
+    insertions: List[Tuple[str, str]] = field(default_factory=list)
+
+
+def _plans(before: FlowGraph, report: SinkingReport) -> Dict[str, _PatternPlan]:
+    plans: Dict[str, _PatternPlan] = {}
+
+    def plan_for(pattern: str) -> _PatternPlan:
+        if pattern not in plans:
+            occurrence = next(
+                stmt
+                for _n, _i, stmt in before.assignments()
+                if stmt.pattern() == pattern
+            )
+            plans[pattern] = _PatternPlan(PatternInfo.of(occurrence))
+        return plans[pattern]
+
+    for block, index, pattern in report.removed:
+        plan_for(pattern).removals.append((block, index))
+    for block, where, pattern in report.inserted:
+        plan_for(pattern).insertions.append((block, where))
+    return plans
+
+
+def _first_blocker(before: FlowGraph, plan: _PatternPlan, block: str) -> int:
+    """Index of the first α-blocking statement of ``block`` (or len)."""
+    statements = before.statements(block)
+    for index, stmt in enumerate(statements):
+        if blocks_sinking(stmt, plan.info):
+            return index
+    return len(statements)
+
+
+def _substituted_at_entry(
+    before: FlowGraph, plan: _PatternPlan, virtual_uses: frozenset[str]
+) -> Dict[str, bool]:
+    """Greatest fixpoint of ``OK(b)``: starting at the *entry* of ``b``,
+    every path to ``e`` meets an insertion of α before any α-blocker, or
+    runs to ``e`` completely unblocked (value unused).
+
+    Transfer through a block: an entry insertion satisfies immediately;
+    otherwise any blocker inside the block fails; otherwise an exit
+    insertion satisfies; otherwise the requirement passes to all
+    successors (``e``: satisfied unless the pattern assigns a virtually
+    used global).
+    """
+    inserted_entry = {b for (b, w) in plan.insertions if w == "entry"}
+    inserted_exit = {b for (b, w) in plan.insertions if w == "exit"}
+    ok: Dict[str, bool] = {node: True for node in before.nodes()}
+
+    changed = True
+    while changed:
+        changed = False
+        for node in before.nodes():
+            if node in inserted_entry:
+                value = True
+            elif _first_blocker(before, plan, node) < len(before.statements(node)):
+                value = False
+            elif node in inserted_exit:
+                value = True
+            elif node == before.end:
+                value = plan.info.lhs not in virtual_uses
+            else:
+                value = all(ok[s] for s in before.successors(node))
+            if value != ok[node]:
+                ok[node] = value
+                changed = True
+    return ok
+
+
+def _justified_at_exit(before: FlowGraph, plan: _PatternPlan) -> Dict[str, bool]:
+    """Greatest fixpoint of ``JUST(b)``: every path from ``s`` to the
+    *exit* of ``b`` carries a removal of α after its last α-blocker.
+
+    Transfer: scanning ``b`` backwards, a removal before any blocker
+    satisfies; a blocker first fails; a clean block passes the question
+    to all predecessors (``s``: fails — nothing was removed above it).
+    """
+    removal_positions: Dict[str, set] = {}
+    for block, index in plan.removals:
+        removal_positions.setdefault(block, set()).add(index)
+
+    def local_verdict(node: str):
+        """True/False decided inside the block, None = transparent."""
+        statements = before.statements(node)
+        removals = removal_positions.get(node, set())
+        for index in range(len(statements) - 1, -1, -1):
+            if index in removals:
+                return True
+            if blocks_sinking(statements[index], plan.info):
+                return False
+        return None
+
+    locals_: Dict[str, object] = {node: local_verdict(node) for node in before.nodes()}
+    just: Dict[str, bool] = {node: True for node in before.nodes()}
+
+    changed = True
+    while changed:
+        changed = False
+        for node in before.nodes():
+            local = locals_[node]
+            if local is not None:
+                value = bool(local)
+            elif node == before.start:
+                value = False
+            else:
+                preds = before.predecessors(node)
+                value = bool(preds) and all(just[p] for p in preds)
+            if value != just[node]:
+                just[node] = value
+                changed = True
+    return just
+
+
+def check_sinking_admissible(before: FlowGraph, report: SinkingReport) -> None:
+    """Raise :class:`AdmissibilityViolation` if the pass violated
+    Definition 3.2.  ``before`` is the program the pass ran on."""
+    virtual_uses = before.globals
+    for pattern, plan in _plans(before, report).items():
+        substituted = _substituted_at_entry(before, plan, virtual_uses)
+        justified = _justified_at_exit(before, plan)
+
+        for block, index in plan.removals:
+            statements = before.statements(block)
+            stmt = statements[index] if 0 <= index < len(statements) else None
+            if not (isinstance(stmt, Assign) and stmt.pattern() == pattern):
+                raise AdmissibilityViolation(
+                    f"removal record ({block}, {index}) does not point at "
+                    f"an occurrence of {pattern!r}"
+                )
+            # From just after the removed occurrence: no blocker may
+            # follow inside the block (then substitution happens at the
+            # exit insertion or downstream).
+            tail_blocked = any(
+                blocks_sinking(s, plan.info) for s in statements[index + 1 :]
+            )
+            inserted_exit = (block, "exit") in plan.insertions
+            if tail_blocked:
+                ok = False
+            elif inserted_exit:
+                ok = True
+            elif block == before.end:
+                ok = plan.info.lhs not in virtual_uses
+            else:
+                ok = all(substituted[s] for s in before.successors(block))
+            if not ok:
+                raise AdmissibilityViolation(
+                    f"occurrence of {pattern!r} removed at ({block}, {index}) "
+                    "is not substituted on every path (Definition 3.2.1)"
+                )
+
+        for block, where in plan.insertions:
+            if where == "entry":
+                preds = before.predecessors(block)
+                is_justified = bool(preds) and all(justified[p] for p in preds)
+            else:
+                # Exit insertion: justification along paths to the exit,
+                # including removals inside the block itself.
+                local = None
+                statements = before.statements(block)
+                removals = {
+                    i for (b, i) in plan.removals if b == block
+                }
+                for index in range(len(statements) - 1, -1, -1):
+                    if index in removals:
+                        local = True
+                        break
+                    if blocks_sinking(statements[index], plan.info):
+                        local = False
+                        break
+                if local is not None:
+                    is_justified = local
+                elif block == before.start:
+                    is_justified = False
+                else:
+                    preds = before.predecessors(block)
+                    is_justified = bool(preds) and all(justified[p] for p in preds)
+            if not is_justified:
+                raise AdmissibilityViolation(
+                    f"instance of {pattern!r} inserted at ({block}, {where}) "
+                    "is not justified on every path (Definition 3.2.2)"
+                )

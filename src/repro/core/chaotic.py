@@ -1,0 +1,190 @@
+"""Chaotic fixed-point iteration (Theorem 3.7, reference [14]).
+
+Section 3 proves the existence of an optimal program via a generalised
+fixed-point theorem tailored to *mutually interdependent* program
+transformations: given a family ``F`` of dominating, monotone
+transformation functions, **any** sequence of applications that contains
+every element of ``F`` "sufficiently often" computes the optimum.  For
+partial dead code elimination the family is ``F_PDE = {dce, ask}``, for
+the faint variant ``F_PFE = {fce, ask}``.
+
+This module makes the theorem executable:
+
+* :func:`chaotic_iterate` runs the family under an arbitrary *fair*
+  schedule (round-robin, seeded random, or user-supplied) until a full
+  sweep leaves the program invariant;
+* :func:`canonicalize` computes the canonical representative the paper
+  mentions ("unique up to some reordering in basic blocks") by sorting
+  each block's statements into a dependency-respecting normal order —
+  so two optimal programs compare equal exactly when they differ only by
+  such reorderings.
+
+The property tests drive random fair schedules and assert they all
+converge to the same canonical program as the deterministic driver —
+the confluence half of Theorem 3.7 on finite instances.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..ir.cfg import FlowGraph
+from ..ir.splitting import split_critical_edges
+from ..ir.stmts import Statement
+from .eliminate import dead_code_elimination, faint_code_elimination
+from .sink import assignment_sinking
+
+__all__ = [
+    "TRANSFORMATIONS",
+    "ChaoticResult",
+    "chaotic_iterate",
+    "random_fair_schedule",
+    "canonicalize",
+]
+
+#: The elementary transformations, by name.  Each takes a graph, mutates
+#: it, and returns whether anything changed.
+TRANSFORMATIONS: Dict[str, Callable[[FlowGraph], bool]] = {
+    "dce": lambda graph: dead_code_elimination(graph).changed,
+    "fce": lambda graph: faint_code_elimination(graph).changed,
+    "ask": lambda graph: _ask(graph),
+}
+
+
+def _ask(graph: FlowGraph) -> bool:
+    return assignment_sinking(graph).changed
+
+
+def random_fair_schedule(
+    names: Tuple[str, ...], seed: int
+) -> Iterable[str]:
+    """An infinite random schedule that is fair by construction: it
+    emits a random permutation of ``names`` per round."""
+    rng = random.Random(seed)
+
+    def rounds():
+        while True:
+            order = list(names)
+            rng.shuffle(order)
+            yield from order
+
+    return rounds()
+
+
+@dataclass
+class ChaoticResult:
+    """Outcome of a chaotic iteration run."""
+
+    original: FlowGraph
+    graph: FlowGraph
+    #: Transformation names in application order (only applied ones).
+    trace: List[str] = field(default_factory=list)
+    #: Applications that changed the program.
+    effective: int = 0
+
+
+def chaotic_iterate(
+    graph: FlowGraph,
+    family: Tuple[str, ...] = ("dce", "ask"),
+    schedule: Optional[Iterable[str]] = None,
+    max_applications: int = 10_000,
+) -> ChaoticResult:
+    """Run ``family`` under ``schedule`` until a full quiet sweep.
+
+    ``schedule`` defaults to round-robin over ``family``.  Termination:
+    the run stops once every member of the family has been applied at
+    least once since the last change (a quiet sweep) — the "sufficiently
+    often" condition of Theorem 3.7 is then witnessed.
+    """
+    for name in family:
+        if name not in TRANSFORMATIONS:
+            raise ValueError(f"unknown transformation {name!r}")
+    split = split_critical_edges(graph)
+    work = split.copy()
+    result = ChaoticResult(original=split, graph=work)
+
+    if schedule is None:
+        def round_robin():
+            while True:
+                yield from family
+
+        schedule = round_robin()
+
+    quiet: set = set()
+    for name in schedule:
+        if name not in family:
+            raise ValueError(f"schedule emitted {name!r}, not in the family")
+        if len(result.trace) >= max_applications:
+            raise RuntimeError("chaotic iteration exceeded the application cap")
+        result.trace.append(name)
+        changed = TRANSFORMATIONS[name](work)
+        if changed:
+            result.effective += 1
+            quiet = set()
+        else:
+            quiet.add(name)
+            if quiet >= set(family):
+                break
+    return result
+
+
+# ----------------------------------------------------------------------
+# Canonical representatives
+# ----------------------------------------------------------------------
+
+
+def _depends(first: Statement, second: Statement) -> bool:
+    """Must ``first`` stay before ``second``?
+
+    Order is fixed when the pair is not independent: write-read,
+    read-write or write-write on some variable, or both statements are
+    relevant (the output sequence is observable).
+    """
+    if first.is_relevant() and second.is_relevant():
+        return True
+    first_writes = first.modified()
+    second_writes = second.modified()
+    if first_writes is not None and first_writes in second.used():
+        return True
+    if second_writes is not None and second_writes in first.used():
+        return True
+    if first_writes is not None and first_writes == second_writes:
+        return True
+    return False
+
+
+def _canonical_block(statements: Tuple[Statement, ...]) -> List[Statement]:
+    """Topologically sort ``statements`` under :func:`_depends`, breaking
+    ties by statement text then original position — a deterministic
+    normal form reachable from any dependency-respecting reordering."""
+    remaining = list(enumerate(statements))
+    ordered: List[Statement] = []
+    while remaining:
+        # Ready = statements with no pending predecessor (in original
+        # order) that must stay before them.
+        ready = [
+            (index, stmt)
+            for index, stmt in remaining
+            if not any(
+                _depends(other, stmt)
+                for other_index, other in remaining
+                if other_index < index
+            )
+        ]
+        chosen = min(ready, key=lambda pair: (str(pair[1]), pair[0]))
+        ordered.append(chosen[1])
+        remaining = [pair for pair in remaining if pair[0] != chosen[0]]
+    return ordered
+
+
+def canonicalize(graph: FlowGraph) -> FlowGraph:
+    """The canonical representative of ``graph`` modulo in-block
+    reordering of independent statements."""
+    result = graph.copy()
+    for node in result.nodes():
+        statements = result.statements(node)
+        if len(statements) > 1:
+            result.set_statements(node, _canonical_block(statements))
+    return result

@@ -1,0 +1,191 @@
+"""The global PDE / PFE algorithm (paper Sections 5.1, 5.4).
+
+``pde`` (``pfe``) alternates two procedures until the program
+stabilises:
+
+* ``dce`` (``fce``) — the elimination step controlled by the dead
+  (faint) variable analysis of Table 1, and
+* ``ask`` — the assignment sinking step controlled by the delayability
+  analysis of Table 2.
+
+The exhaustive alternation is what captures the second-order effects of
+Section 4 (sinking-elimination, sinking-sinking, elimination-sinking,
+elimination-elimination); a single round of each step — the
+``single_pass`` baseline — misses them.
+
+The driver records the statistics Section 6 reasons about:
+
+* ``r`` — number of component-transformation applications,
+* ``w`` — the maximal factor by which the instruction count grew
+  during the run (expected ``O(1)`` in practice, Section 6.2),
+* per-step analysis work (transfer evaluations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..ir.cfg import FlowGraph
+from ..ir.splitting import split_critical_edges
+from ..ir.validate import validate
+from .eliminate import EliminationReport, dead_code_elimination, faint_code_elimination
+from .sink import SinkingReport, assignment_sinking
+
+__all__ = ["OptimizationResult", "OptimizationStats", "pde", "pfe", "optimize"]
+
+
+class NonTermination(RuntimeError):
+    """The alternation failed to stabilise within the round limit.
+
+    Section 6.3 bounds the number of component applications by ``i · b``;
+    the driver's default limit is far above that, so hitting it indicates
+    a bug rather than a big program.
+    """
+
+
+@dataclass
+class RoundRecord:
+    """Reports of the two steps of one global iteration."""
+
+    elimination: EliminationReport
+    sinking: SinkingReport
+    #: Program snapshots after each step (only with ``trace=True``).
+    after_elimination: Optional[FlowGraph] = None
+    after_sinking: Optional[FlowGraph] = None
+
+
+@dataclass
+class OptimizationStats:
+    """Run statistics matching the parameters of Section 6."""
+
+    #: The paper's ``r``: applications of component transformations.
+    component_applications: int = 0
+    #: Global rounds executed (each round = one elimination + one sinking).
+    rounds: int = 0
+    #: Total assignments eliminated across all elimination passes.
+    eliminated: int = 0
+    #: Total candidate removals / instance insertions by sinking passes.
+    sunk_removed: int = 0
+    sunk_inserted: int = 0
+    #: Instruction counts: of the (edge-split) input, the maximum reached
+    #: at any intermediate stage, and of the final program.
+    original_instructions: int = 0
+    peak_instructions: int = 0
+    final_instructions: int = 0
+    #: Total transfer evaluations across every controlling analysis.
+    analysis_work: int = 0
+    history: List[RoundRecord] = field(default_factory=list)
+
+    @property
+    def code_growth_factor(self) -> float:
+        """The paper's ``w``: peak size relative to the input size."""
+        if self.original_instructions == 0:
+            return 1.0
+        return self.peak_instructions / self.original_instructions
+
+
+@dataclass
+class OptimizationResult:
+    """The outcome of running ``pde`` / ``pfe`` on a program."""
+
+    #: The input after critical-edge splitting — the member of the
+    #: paper's universe ``𝒢`` every result must be compared against.
+    original: FlowGraph
+    #: The optimised program.
+    graph: FlowGraph
+    stats: OptimizationStats
+    variant: str  # "pde" | "pfe"
+    #: Set by :func:`repro.core.verify.verified_pde` when the result has
+    #: been certified against the oracles.
+    verification: Optional[object] = None
+
+
+def _run(
+    graph: FlowGraph,
+    variant: str,
+    max_rounds: Optional[int],
+    faint_method: str,
+    trace: bool = False,
+) -> OptimizationResult:
+    split = split_critical_edges(graph)
+    validate(split, require_split=True)
+    work = split.copy()
+
+    stats = OptimizationStats()
+    stats.original_instructions = split.instruction_count()
+    stats.peak_instructions = stats.original_instructions
+
+    limit = max_rounds if max_rounds is not None else 4 * (split.instruction_count() + 2) * len(split)
+    previous = None
+    while True:
+        if stats.rounds >= limit:
+            raise NonTermination(
+                f"{variant} did not stabilise within {limit} rounds"
+            )
+        if variant == "pfe":
+            elimination = faint_code_elimination(work, method=faint_method)
+        else:
+            elimination = dead_code_elimination(work)
+        stats.peak_instructions = max(stats.peak_instructions, work.instruction_count())
+        after_elimination = work.copy() if trace else None
+
+        sinking = assignment_sinking(work)
+        stats.peak_instructions = max(stats.peak_instructions, work.instruction_count())
+        after_sinking = work.copy() if trace else None
+
+        stats.rounds += 1
+        stats.component_applications += 2
+        stats.eliminated += len(elimination)
+        stats.sunk_removed += len(sinking.removed)
+        stats.sunk_inserted += len(sinking.inserted)
+        stats.analysis_work += elimination.analysis_work + sinking.analysis_work
+        stats.history.append(
+            RoundRecord(elimination, sinking, after_elimination, after_sinking)
+        )
+
+        fingerprint = work.fingerprint()
+        if not elimination.changed and not sinking.changed:
+            break
+        if fingerprint == previous:
+            break  # text-level fixpoint (reinsertion at identical spots)
+        previous = fingerprint
+
+    stats.final_instructions = work.instruction_count()
+    return OptimizationResult(original=split, graph=work, stats=stats, variant=variant)
+
+
+def pde(
+    graph: FlowGraph,
+    max_rounds: Optional[int] = None,
+    trace: bool = False,
+) -> OptimizationResult:
+    """Partial **dead** code elimination: exhaustive ``dce`` / ``ask``
+    alternation (Theorem 5.2: the result is optimal in ``𝒢_PDE``).
+
+    The input graph is not mutated; critical edges are split up front
+    (Section 2.1).  With ``trace=True`` every round's intermediate
+    programs are kept in ``result.stats.history`` (the CLI's ``explain``
+    command renders them).
+    """
+    return _run(graph, "pde", max_rounds, faint_method="instruction", trace=trace)
+
+
+def pfe(
+    graph: FlowGraph,
+    max_rounds: Optional[int] = None,
+    faint_method: str = "instruction",
+    trace: bool = False,
+) -> OptimizationResult:
+    """Partial **faint** code elimination: exhaustive ``fce`` / ``ask``
+    alternation (Theorem 5.2: the result is optimal in ``𝒢_PFE``)."""
+    return _run(graph, "pfe", max_rounds, faint_method=faint_method, trace=trace)
+
+
+def optimize(graph: FlowGraph, variant: str = "pde", **kwargs) -> OptimizationResult:
+    """Dispatch helper: ``variant`` is ``"pde"`` or ``"pfe"``."""
+    if variant == "pde":
+        return pde(graph, **kwargs)
+    if variant == "pfe":
+        return pfe(graph, **kwargs)
+    raise ValueError(f"unknown variant {variant!r} (expected 'pde' or 'pfe')")

@@ -1,0 +1,89 @@
+"""The elimination step: ``dce`` and ``fce`` (paper Section 5.2).
+
+After computing the greatest solution of the dead (faint) variable
+equation system of Table 1, the transformation is very simple:
+
+    *Process every basic block by successively eliminating all
+    assignments whose left-hand side variables are dead (faint)
+    immediately after them.*
+
+Eliminations may only ever *reduce* the potential of run-time errors
+(footnote 3) — the remaining instructions behave exactly as before.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..ir.cfg import FlowGraph
+from ..ir.stmts import Assign
+from ..dataflow.dead import analyze_dead
+from ..dataflow.faint import analyze_faint
+
+__all__ = ["EliminationReport", "dead_code_elimination", "faint_code_elimination"]
+
+
+@dataclass
+class EliminationReport:
+    """What one elimination pass removed."""
+
+    #: ``(block, original index, pattern)`` of each removed assignment.
+    removed: List[Tuple[str, int, str]] = field(default_factory=list)
+    #: Work done by the controlling analysis (transfer evaluations).
+    analysis_work: int = 0
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.removed)
+
+    def __len__(self) -> int:
+        return len(self.removed)
+
+
+def _eliminate(graph: FlowGraph, after_each, universe) -> EliminationReport:
+    """Shared elimination driver given a per-block "dead-after" oracle."""
+    report = EliminationReport()
+    for node in graph.nodes():
+        statements = graph.statements(node)
+        if not statements:
+            continue
+        after = after_each(node)
+        kept = []
+        for index, stmt in enumerate(statements):
+            if (
+                isinstance(stmt, Assign)
+                and stmt.lhs in universe
+                and universe.test(after[index], stmt.lhs)
+            ):
+                report.removed.append((node, index, stmt.pattern()))
+            else:
+                kept.append(stmt)
+        if len(kept) != len(statements):
+            graph.set_statements(node, kept)
+    return report
+
+
+def dead_code_elimination(graph: FlowGraph) -> EliminationReport:
+    """One ``dce`` pass: remove assignments whose lhs is dead after them.
+
+    Mutates ``graph`` in place and reports the removals.
+    """
+    dead = analyze_dead(graph)
+    report = _eliminate(graph, dead.after_each, dead.universe)
+    report.analysis_work = dead.result.transfer_evaluations
+    return report
+
+
+def faint_code_elimination(graph: FlowGraph, method: str = "instruction") -> EliminationReport:
+    """One ``fce`` pass: remove assignments whose lhs is faint after them.
+
+    Faint code elimination is strictly more powerful than dead code
+    elimination (Figure 9) and, unlike it, removes mutually-dependent
+    useless assignments simultaneously (Figure 12 is a *first-order*
+    effect here).
+    """
+    faint = analyze_faint(graph, method=method)
+    report = _eliminate(graph, faint.after_each, faint.universe)
+    report.analysis_work = faint.transfer_evaluations
+    return report

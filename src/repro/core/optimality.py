@@ -1,0 +1,115 @@
+"""The "better" pre-order of Definition 3.6 and optimality checking.
+
+``G'`` is *better* than ``G''`` (both derived from the same program, so
+they share their branching structure) iff for every path ``p`` from
+``s`` to ``e`` and every assignment pattern ``α``::
+
+    α#(p_{G'}) ≤ α#(p_{G''})
+
+where ``α#`` counts occurrences of ``α`` along the path.  Theorem 5.2
+states that the programs produced by ``pde`` / ``pfe`` are optimal in
+this sense within the universes ``𝒢_PDE`` / ``𝒢_PFE``.
+
+On finite instances we verify the relation by bounded path enumeration
+(see :mod:`repro.interp.paths`).  The per-path counting also yields the
+paper's performance guarantee — "each execution of the resulting
+program is at least as fast as the similar execution of the original
+program" — since the statements that must be executed can only be
+reduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.cfg import FlowGraph
+from ..ir.stmts import Assign
+from ..interp.paths import enumerate_paths
+
+__all__ = ["Comparison", "compare", "is_better_or_equal", "path_pattern_counts"]
+
+
+def path_pattern_counts(
+    graph: FlowGraph, path: Tuple[str, ...]
+) -> Dict[str, int]:
+    """Occurrence counts of every assignment pattern along ``path``."""
+    counts: Dict[str, int] = {}
+    for node in path:
+        for stmt in graph.statements(node):
+            if isinstance(stmt, Assign):
+                pattern = stmt.pattern()
+                counts[pattern] = counts.get(pattern, 0) + 1
+    return counts
+
+
+@dataclass
+class Comparison:
+    """The outcome of comparing two programs path-wise."""
+
+    #: ``first ⊑ second``: first is at least as good on every path.
+    first_better_or_equal: bool
+    #: ``second ⊑ first``.
+    second_better_or_equal: bool
+    #: A witness ``(path, pattern, count_first, count_second)`` violating
+    #: ``first ⊑ second``, when one exists.
+    witness: Optional[Tuple[Tuple[str, ...], str, int, int]] = None
+
+    @property
+    def equivalent(self) -> bool:
+        return self.first_better_or_equal and self.second_better_or_equal
+
+    @property
+    def strictly_better(self) -> bool:
+        """First strictly better: better-or-equal and not equivalent."""
+        return self.first_better_or_equal and not self.second_better_or_equal
+
+
+def compare(
+    first: FlowGraph, second: FlowGraph, max_edge_repeats: int = 2
+) -> Comparison:
+    """Compare two programs with identical branching structure."""
+    if not first.same_shape(second):
+        raise ValueError(
+            "programs have different branching structure; the 'better' "
+            "relation of Definition 3.6 is only defined within one universe"
+        )
+    first_le = True
+    second_le = True
+    witness: Optional[Tuple[Tuple[str, ...], str, int, int]] = None
+    for path in enumerate_paths(first, max_edge_repeats):
+        counts_first = path_pattern_counts(first, path)
+        counts_second = path_pattern_counts(second, path)
+        for pattern in set(counts_first) | set(counts_second):
+            a = counts_first.get(pattern, 0)
+            b = counts_second.get(pattern, 0)
+            if a > b:
+                first_le = False
+                if witness is None:
+                    witness = (path, pattern, a, b)
+            if b > a:
+                second_le = False
+        if not first_le and not second_le:
+            break
+    return Comparison(first_le, second_le, witness)
+
+
+def is_better_or_equal(
+    first: FlowGraph, second: FlowGraph, max_edge_repeats: int = 2
+) -> bool:
+    """Is ``first`` at least as good as ``second`` (Definition 3.6)?"""
+    return compare(first, second, max_edge_repeats).first_better_or_equal
+
+
+def total_executable_statements(
+    graph: FlowGraph, max_edge_repeats: int = 2
+) -> List[int]:
+    """Assignment count along every enumerated path, in enumeration order.
+
+    A compact fingerprint of the dynamic cost profile used by the
+    benchmark harness.
+    """
+    totals: List[int] = []
+    for path in enumerate_paths(graph, max_edge_repeats):
+        totals.append(sum(path_pattern_counts(graph, path).values()))
+    return totals

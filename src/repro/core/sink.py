@@ -1,0 +1,121 @@
+"""The assignment sinking step ``ask`` (paper Section 5.3).
+
+Driven by the delayability analysis of Table 2, one ``ask`` pass
+
+1. **removes every sinking candidate** (the occurrences contributing
+   ``LOCDELAYED``), and
+2. **inserts instances** of every pattern ``α`` at the entry of ``n``
+   where ``N-INSERT_n(α)`` holds and at the exit of ``n`` where
+   ``X-INSERT_n(α)`` holds.
+
+Patterns delayable through the end node are dropped: the equations
+produce no insertion there, and an unblocked path to ``e`` proves the
+value is unused on it (globals are protected by their virtual use at
+``e``, which blocks delaying past the end).
+
+The paper observes that all patterns inserted at one program point are
+*independent* and may be placed in arbitrary order; we insert them in
+sorted pattern order (deterministic) and verify the independence claim,
+raising :class:`SinkingError` if it ever failed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..ir.cfg import FlowGraph
+from ..ir.stmts import Statement
+from ..dataflow.delay import DelayabilityResult, analyze_delayability
+from ..dataflow.patterns import PatternInfo, sinking_candidate_index
+
+__all__ = ["SinkingError", "SinkingReport", "assignment_sinking"]
+
+
+class SinkingError(AssertionError):
+    """An internal invariant of the sinking step failed."""
+
+
+@dataclass
+class SinkingReport:
+    """What one ``ask`` pass did."""
+
+    #: ``(block, index, pattern)`` of removed sinking candidates.
+    removed: List[Tuple[str, int, str]] = field(default_factory=list)
+    #: ``(block, "entry"|"exit", pattern)`` of inserted instances.
+    inserted: List[Tuple[str, str, str]] = field(default_factory=list)
+    #: Whether the pass changed the program text (candidate removal and
+    #: reinsertion at the same position cancels out).
+    changed: bool = False
+    #: Work done by the delayability analysis (transfer evaluations).
+    analysis_work: int = 0
+
+
+def _check_independence(infos: Sequence[PatternInfo], where: str) -> None:
+    """Verify the Section 5.3 claim for simultaneously inserted patterns."""
+    for i, first in enumerate(infos):
+        for second in infos[i + 1 :]:
+            conflict = (
+                first.lhs == second.lhs
+                or first.lhs in second.rhs_variables
+                or second.lhs in first.rhs_variables
+            )
+            if conflict:
+                raise SinkingError(
+                    f"dependent patterns {first.pattern!r} and "
+                    f"{second.pattern!r} inserted together at {where}"
+                )
+
+
+def assignment_sinking(
+    graph: FlowGraph, delayability: DelayabilityResult | None = None
+) -> SinkingReport:
+    """One ``ask`` pass over ``graph`` (mutating it in place).
+
+    ``graph`` must be critical-edge-free.  A precomputed
+    ``delayability`` result may be supplied (the driver reuses it for
+    its termination check); otherwise it is computed here.
+    """
+    if delayability is None:
+        delayability = analyze_delayability(graph)
+    delayability.check_invariants()
+    patterns = delayability.patterns
+    report = SinkingReport(analysis_work=delayability.transfer_evaluations)
+
+    new_statements: Dict[str, List[Statement]] = {}
+    for node in graph.nodes():
+        statements = list(graph.statements(node))
+        virtually_used = graph.globals if node == graph.end else frozenset()
+
+        # 1. Remove sinking candidates (at most one per pattern per block).
+        removals: List[Tuple[int, str]] = []
+        for info in patterns:
+            index = sinking_candidate_index(tuple(statements), info, virtually_used)
+            if index is not None:
+                removals.append((index, info.pattern))
+        for index, pattern in sorted(removals, reverse=True):
+            del statements[index]
+            report.removed.append((node, index, pattern))
+
+        # 2. Insert at the entry / exit as dictated by the predicates.
+        entry_infos = patterns.members(delayability.n_insert(node))
+        exit_infos = patterns.members(delayability.x_insert(node))
+        _check_independence(entry_infos, f"entry of {node!r}")
+        _check_independence(exit_infos, f"exit of {node!r}")
+        for info in entry_infos:
+            report.inserted.append((node, "entry", info.pattern))
+        for info in exit_infos:
+            report.inserted.append((node, "exit", info.pattern))
+
+        statements = (
+            [info.instance() for info in entry_infos]
+            + statements
+            + [info.instance() for info in exit_infos]
+        )
+        new_statements[node] = statements
+
+    for node, statements in new_statements.items():
+        if list(graph.statements(node)) != statements:
+            graph.set_statements(node, statements)
+            report.changed = True
+    return report

@@ -1,0 +1,45 @@
+"""Dataflow analyses of the paper (Tables 1 and 2) and their machinery."""
+
+from .bitvec import Universe
+from .dead import DeadVariableAnalysis, DeadVariables, analyze_dead
+from .delay import DelayabilityResult, analyze_delayability
+from .faint import FaintVariables, analyze_faint
+from .framework import Analysis, Result, solve
+from .live import LiveVariables, analyze_live
+from .pressure import PressureProfile, measure_pressure
+from .reducible import is_reducible, loop_connectedness, solve_round_robin
+from .patterns import (
+    PatternInfo,
+    PatternUniverse,
+    blocks_sinking,
+    candidate_locations,
+    local_predicate_table,
+    local_predicates,
+    sinking_candidate_index,
+)
+
+__all__ = [
+    "Universe",
+    "DeadVariableAnalysis",
+    "DeadVariables",
+    "analyze_dead",
+    "DelayabilityResult",
+    "analyze_delayability",
+    "FaintVariables",
+    "analyze_faint",
+    "Analysis",
+    "Result",
+    "solve",
+    "is_reducible",
+    "loop_connectedness",
+    "solve_round_robin",
+    "LiveVariables",
+    "analyze_live",
+    "PatternInfo",
+    "PatternUniverse",
+    "blocks_sinking",
+    "candidate_locations",
+    "local_predicate_table",
+    "local_predicates",
+    "sinking_candidate_index",
+]

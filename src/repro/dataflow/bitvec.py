@@ -1,0 +1,84 @@
+"""Dense bit-vectors over a named universe.
+
+The paper's analyses are *bit-vector data flow analyses*: the dead
+variable analysis and the delayability analysis operate on boolean
+vectors indexed by program variables and assignment patterns
+respectively (Tables 1 and 2).  We represent such vectors as plain
+Python integers (arbitrary-precision bitmasks) — the closest Python
+equivalent of machine-word bit-vector operations — and use
+:class:`Universe` to map names to bit positions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Tuple
+
+__all__ = ["Universe"]
+
+
+class Universe:
+    """An ordered universe of names, each owning one bit position."""
+
+    def __init__(self, names: Iterable[str]) -> None:
+        self._names: Tuple[str, ...] = tuple(names)
+        self._index: Dict[str, int] = {}
+        for position, name in enumerate(self._names):
+            if name in self._index:
+                raise ValueError(f"duplicate universe element {name!r}")
+            self._index[name] = position
+
+    # -- basic facts ----------------------------------------------------
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return self._names
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    # -- bits -----------------------------------------------------------
+    def index(self, name: str) -> int:
+        return self._index[name]
+
+    def bit(self, name: str) -> int:
+        """The mask with only ``name``'s bit set."""
+        return 1 << self._index[name]
+
+    def mask(self, names: Iterable[str]) -> int:
+        """The mask with the bits of all ``names`` set.
+
+        Names outside the universe are ignored — convenient for local
+        predicates mentioning variables a particular analysis does not
+        track (e.g. globals-only expressions).
+        """
+        value = 0
+        for name in names:
+            position = self._index.get(name)
+            if position is not None:
+                value |= 1 << position
+        return value
+
+    @property
+    def full(self) -> int:
+        """The mask with every bit set (the lattice top for meets)."""
+        return (1 << len(self._names)) - 1
+
+    # -- inspection -------------------------------------------------------
+    def test(self, vector: int, name: str) -> bool:
+        """Is ``name``'s bit set in ``vector``?"""
+        return bool(vector >> self._index[name] & 1)
+
+    def members(self, vector: int) -> Tuple[str, ...]:
+        """The names whose bits are set in ``vector``, in universe order."""
+        return tuple(
+            name for position, name in enumerate(self._names) if vector >> position & 1
+        )
+
+    def format(self, vector: int) -> str:
+        """Human-readable rendering, e.g. ``{x, y}``."""
+        return "{" + ", ".join(self.members(vector)) + "}"

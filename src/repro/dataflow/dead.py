@@ -1,0 +1,109 @@
+"""Dead variable analysis (paper Table 1, left system).
+
+A variable ``x`` is **dead** at a program point if on every path from
+that point to ``e`` every right-hand side occurrence of ``x`` is
+preceded by a modification of ``x`` — its current value can never reach
+a use.  The equation system (per instruction ``ι``)::
+
+    N-DEAD_ι = ¬USED_ι · (X-DEAD_ι + MOD_ι)
+    X-DEAD_ι = Π_{ι' ∈ succ(ι)} N-DEAD_ι'
+
+is a backwards-directed bit-vector problem; as the paper notes it "can
+straightforwardly be modified to work on basic blocks", which is what
+:class:`DeadVariableAnalysis` does — the block transfer folds the
+instruction transfer over the block in reverse.
+
+Boundary: at the exit of ``e`` every variable is dead **except declared
+globals** (footnote 2: assignments to variables declared outside the
+flow graph are relevant; we model this as a virtual use at ``e``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..ir.cfg import FlowGraph
+from ..ir.stmts import Statement
+from .bitvec import Universe
+from .framework import BACKWARD, Analysis, Result, solve
+
+__all__ = ["DeadVariableAnalysis", "DeadVariables", "analyze_dead"]
+
+
+def _instruction_transfer(universe: Universe, stmt: Statement, x_dead: int) -> int:
+    """``N-DEAD_ι`` from ``X-DEAD_ι`` for one instruction."""
+    used = universe.mask(stmt.used())
+    modified = stmt.modified()
+    mod = universe.bit(modified) if modified is not None and modified in universe else 0
+    return (x_dead | mod) & ~used
+
+
+class DeadVariableAnalysis(Analysis):
+    """The Table 1 dead variable system as a block-level backward problem."""
+
+    direction = BACKWARD
+
+    def boundary(self) -> int:
+        # All variables dead at the exit of ``e`` except globals.
+        return self.universe.full & ~self.universe.mask(self.graph.globals)
+
+    def transfer(self, node: str, value: int) -> int:
+        for stmt in reversed(self.graph.statements(node)):
+            value = _instruction_transfer(self.universe, stmt, value)
+        return value
+
+
+class DeadVariables:
+    """Solved dead variable information with per-instruction access."""
+
+    def __init__(self, graph: FlowGraph, result: Result) -> None:
+        self._graph = graph
+        self._result = result
+        self.universe = result.universe
+
+    @property
+    def result(self) -> Result:
+        return self._result
+
+    def entry(self, node: str) -> int:
+        """Bit-vector of variables dead at the entry of block ``node``."""
+        return self._result.entry[node]
+
+    def exit(self, node: str) -> int:
+        """Bit-vector of variables dead at the exit of block ``node``."""
+        return self._result.exit[node]
+
+    def after_each(self, node: str) -> List[int]:
+        """``X-DEAD`` after each instruction of ``node``.
+
+        Element ``k`` is the dead set immediately *after* statement ``k``
+        — exactly what the elimination step of Section 5.2 consults
+        ("eliminate all assignments whose left-hand side variables are
+        dead immediately after them").
+        """
+        statements: Sequence[Statement] = self._graph.statements(node)
+        after = [0] * len(statements)
+        value = self._result.exit[node]
+        for index in range(len(statements) - 1, -1, -1):
+            after[index] = value
+            value = _instruction_transfer(self.universe, statements[index], value)
+        return after
+
+    def is_dead_after(self, node: str, index: int, variable: str) -> bool:
+        """Is ``variable`` dead immediately after statement ``index``?"""
+        if variable not in self.universe:
+            return False
+        return self.universe.test(self.after_each(node)[index], variable)
+
+    def dead_at_entry(self, node: str) -> tuple[str, ...]:
+        return self.universe.members(self.entry(node))
+
+    def dead_at_exit(self, node: str) -> tuple[str, ...]:
+        return self.universe.members(self.exit(node))
+
+
+def analyze_dead(graph: FlowGraph) -> DeadVariables:
+    """Run the dead variable analysis of Table 1 on ``graph``."""
+    universe = Universe(sorted(graph.variables()))
+    analysis = DeadVariableAnalysis(graph, universe)
+    return DeadVariables(graph, solve(analysis))

@@ -1,0 +1,110 @@
+"""Delayability analysis and insertion points (paper Table 2).
+
+The sinking step is controlled by a forward bit-vector analysis over
+assignment patterns, adapted from the delayability analysis of lazy code
+motion ([22, 23]).  ``N-DELAYED_n(α)`` / ``X-DELAYED_n(α)`` mean that
+sinking candidates of ``α`` can be moved to the entry / exit of block
+``n``::
+
+    N-DELAYED_n = false                                  if n = s
+                  Π_{m ∈ pred(n)} X-DELAYED_m            otherwise
+    X-DELAYED_n = LOCDELAYED_n + N-DELAYED_n · ¬LOCBLOCKED_n
+
+The greatest solution yields the insertion predicates::
+
+    N-INSERT_n = N-DELAYED_n · LOCBLOCKED_n
+    X-INSERT_n = X-DELAYED_n · Σ_{m ∈ succ(n)} ¬N-DELAYED_m
+
+Due to up-front critical edge splitting there are never insertions at
+the exit of branching nodes (paper footnote 6) — an invariant
+:func:`DelayabilityResult.check_invariants` verifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..ir.cfg import FlowGraph
+from .framework import FORWARD, Analysis, Result, solve
+from .patterns import PatternUniverse, local_predicate_table
+
+__all__ = ["DelayabilityResult", "analyze_delayability"]
+
+
+class _DelayabilityAnalysis(Analysis):
+    direction = FORWARD
+
+    def __init__(
+        self,
+        graph: FlowGraph,
+        patterns: PatternUniverse,
+        locals_: Dict[str, Tuple[int, int]],
+    ) -> None:
+        super().__init__(graph, patterns.universe)
+        self._locals = locals_
+
+    def boundary(self) -> int:
+        return 0  # N-DELAYED_s = false
+
+    def transfer(self, node: str, n_delayed: int) -> int:
+        loc_delayed, loc_blocked = self._locals[node]
+        return loc_delayed | (n_delayed & ~loc_blocked)
+
+
+@dataclass
+class DelayabilityResult:
+    """Solved delayability with the derived insertion predicates."""
+
+    graph: FlowGraph
+    patterns: PatternUniverse
+    #: ``(LOCDELAYED_n, LOCBLOCKED_n)`` per block.
+    locals: Dict[str, Tuple[int, int]]
+    #: ``N-DELAYED_n`` / ``X-DELAYED_n`` per block.
+    n_delayed: Dict[str, int]
+    x_delayed: Dict[str, int]
+    transfer_evaluations: int
+
+    def n_insert(self, node: str) -> int:
+        """Patterns to insert at the entry of ``node``."""
+        _loc_delayed, loc_blocked = self.locals[node]
+        return self.n_delayed[node] & loc_blocked
+
+    def x_insert(self, node: str) -> int:
+        """Patterns to insert at the exit of ``node``."""
+        some_successor_not_delayed = 0
+        for successor in self.graph.successors(node):
+            some_successor_not_delayed |= ~self.n_delayed[successor]
+        return self.x_delayed[node] & some_successor_not_delayed & self.patterns.universe.full
+
+    def check_invariants(self) -> None:
+        """Assert paper footnote 6 on an edge-split graph: no insertions
+        at the exit of branching nodes."""
+        for node in self.graph.nodes():
+            if len(self.graph.successors(node)) > 1 and self.x_insert(node):
+                members = self.patterns.universe.members(self.x_insert(node))
+                raise AssertionError(
+                    f"X-INSERT at branching node {node!r} for {members} — "
+                    "was the graph edge-split?"
+                )
+
+
+def analyze_delayability(graph: FlowGraph) -> DelayabilityResult:
+    """Run the Table 2 delayability analysis on ``graph``.
+
+    ``graph`` should be critical-edge-free (see
+    :func:`repro.ir.splitting.split_critical_edges`); the result's
+    :meth:`~DelayabilityResult.check_invariants` detects violations.
+    """
+    patterns = PatternUniverse(graph)
+    locals_ = local_predicate_table(graph, patterns)
+    analysis = _DelayabilityAnalysis(graph, patterns, locals_)
+    result: Result = solve(analysis)
+    return DelayabilityResult(
+        graph=graph,
+        patterns=patterns,
+        locals=locals_,
+        n_delayed=result.entry,
+        x_delayed=result.exit,
+        transfer_evaluations=result.transfer_evaluations,
+    )

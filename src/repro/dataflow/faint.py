@@ -1,0 +1,302 @@
+"""Faint variable analysis (paper Table 1, right system).
+
+A variable ``x`` is **faint** at a point if on every path to ``e`` every
+rhs occurrence of ``x`` is either preceded by a modification of ``x`` or
+appears in an assignment whose own left-hand side is faint.  Faintness
+generalises deadness (Figure 9: ``x := x + 1`` in a loop whose value
+never reaches a relevant statement is faint but not dead).
+
+Equation system, slotwise simultaneously for all variables ``z``::
+
+    N-FAINT_ι(z) = ¬RELV-USED_ι(z) · (X-FAINT_ι(z) + MOD_ι(z))
+                   · (X-FAINT_ι(lhs_ι) + ¬ASS-USED_ι(z))
+    X-FAINT_ι(z) = Π_{ι' ∈ succ(ι)} N-FAINT_ι'(z)
+
+The third conjunct couples the ``z`` slot to the ``lhs_ι`` slot of the
+*same* vector, so the problem "does not have a bit-vector form" (paper
+Section 5.2): slots are not independent.  It is nevertheless monotone on
+the meet lattice, so two equivalent solution strategies exist here:
+
+* ``method="slot"`` — the paper's formulation verbatim: one worklist
+  entry per slot ``(ι, x)``, with the extra update of the rhs-variable
+  slots whenever a ``(ι, lhs_ι)`` slot is processed successfully;
+* ``method="instruction"`` — instruction-level worklist re-evaluating an
+  instruction's whole vector at once (the vectorised engineering
+  variant; the lhs dependency is subsumed by the full-vector transfer);
+* ``method="block"`` — block-level worklist folding the instruction
+  transfer over each block in reverse.
+
+All three compute the greatest solution; tests assert they agree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..ir.cfg import FlowGraph
+from ..ir.stmts import Assign, Statement
+from .bitvec import Universe
+from .framework import BACKWARD, Analysis, Result, solve
+
+__all__ = ["FaintVariables", "analyze_faint"]
+
+
+def _instruction_transfer(universe: Universe, stmt: Statement, x_faint: int) -> int:
+    """``N-FAINT_ι`` from ``X-FAINT_ι`` for one instruction (vectorised)."""
+    if isinstance(stmt, Assign):
+        # Assignments are never relevant: first conjunct is all-true.
+        lhs_bit = universe.bit(stmt.lhs) if stmt.lhs in universe else 0
+        n_faint = x_faint | lhs_bit
+        if not x_faint & lhs_bit:
+            # lhs is not faint after ι: rhs variables are really used here.
+            n_faint &= ~universe.mask(stmt.rhs.variables())
+        return n_faint
+    # out / branch / skip: no MOD, no ASS-USED; relevant uses kill faintness.
+    return x_faint & ~universe.mask(stmt.relevant_used())
+
+
+class _BlockFaintAnalysis(Analysis):
+    direction = BACKWARD
+
+    def boundary(self) -> int:
+        return self.universe.full & ~self.universe.mask(self.graph.globals)
+
+    def transfer(self, node: str, value: int) -> int:
+        for stmt in reversed(self.graph.statements(node)):
+            value = _instruction_transfer(self.universe, stmt, value)
+        return value
+
+
+class FaintVariables:
+    """Solved faint variable information with per-instruction access."""
+
+    def __init__(
+        self,
+        graph: FlowGraph,
+        universe: Universe,
+        entry: Dict[str, int],
+        exit_: Dict[str, int],
+        evaluations: int,
+    ) -> None:
+        self._graph = graph
+        self.universe = universe
+        self._entry = entry
+        self._exit = exit_
+        #: Instruction (or block) transfer evaluations — solver work measure.
+        self.transfer_evaluations = evaluations
+
+    def entry(self, node: str) -> int:
+        return self._entry[node]
+
+    def exit(self, node: str) -> int:
+        return self._exit[node]
+
+    def after_each(self, node: str) -> List[int]:
+        """``X-FAINT`` after each instruction of block ``node``."""
+        statements: Sequence[Statement] = self._graph.statements(node)
+        after = [0] * len(statements)
+        value = self._exit[node]
+        for index in range(len(statements) - 1, -1, -1):
+            after[index] = value
+            value = _instruction_transfer(self.universe, statements[index], value)
+        return after
+
+    def is_faint_after(self, node: str, index: int, variable: str) -> bool:
+        if variable not in self.universe:
+            return False
+        return self.universe.test(self.after_each(node)[index], variable)
+
+    def faint_at_entry(self, node: str) -> Tuple[str, ...]:
+        return self.universe.members(self._entry[node])
+
+    def faint_at_exit(self, node: str) -> Tuple[str, ...]:
+        return self.universe.members(self._exit[node])
+
+
+def analyze_faint(graph: FlowGraph, method: str = "instruction") -> FaintVariables:
+    """Run the faint variable analysis of Table 1 on ``graph``."""
+    universe = Universe(sorted(graph.variables()))
+    if method == "block":
+        result: Result = solve(_BlockFaintAnalysis(graph, universe))
+        return FaintVariables(
+            graph, universe, result.entry, result.exit, result.transfer_evaluations
+        )
+    if method == "instruction":
+        return _solve_instruction_level(graph, universe)
+    if method == "slot":
+        return _solve_slotwise(graph, universe)
+    raise ValueError(f"unknown method {method!r}")
+
+
+def _solve_instruction_level(graph: FlowGraph, universe: Universe) -> FaintVariables:
+    """The paper's instruction-level worklist (Section 5.2).
+
+    ``n_faint[node][k]`` is ``N-FAINT`` of instruction ``k`` of ``node``;
+    for an empty block the single entry is the block's pass-through value.
+    The worklist holds instruction positions; re-evaluating position ``k``
+    recomputes its whole vector, which subsumes the paper's extra update
+    of slots ``(ι, z)`` for rhs variables ``z`` whenever ``(ι, lhs_ι)``
+    changed — the lhs slot lives in the successor vector this transfer
+    reads.
+    """
+    top = universe.full
+    boundary = top & ~universe.mask(graph.globals)
+
+    n_faint: Dict[str, List[int]] = {
+        node: [top] * max(1, len(graph.statements(node))) for node in graph.nodes()
+    }
+
+    def block_entry_value(node: str) -> int:
+        return n_faint[node][0]
+
+    def exit_value(node: str) -> int:
+        if node == graph.end:
+            return boundary
+        value = top
+        for successor in graph.successors(node):
+            value &= block_entry_value(successor)
+        return value
+
+    # Positions are processed in deterministic FIFO order.
+    pending: List[Tuple[str, int]] = []
+    queued: set[Tuple[str, int]] = set()
+    for node in graph.nodes():
+        for index in range(len(n_faint[node]) - 1, -1, -1):
+            slot = (node, index)
+            pending.append(slot)
+            queued.add(slot)
+
+    evaluations = 0
+    while pending:
+        node, index = pending.pop(0)
+        queued.discard((node, index))
+        statements = graph.statements(node)
+        if index == len(n_faint[node]) - 1:
+            x_value = exit_value(node)
+        else:
+            x_value = n_faint[node][index + 1]
+        if index < len(statements):
+            new_value = _instruction_transfer(universe, statements[index], x_value)
+        else:
+            new_value = x_value  # empty block: pass-through
+        evaluations += 1
+        if new_value == n_faint[node][index]:
+            continue
+        n_faint[node][index] = new_value
+        if index > 0:
+            dependents: List[Tuple[str, int]] = [(node, index - 1)]
+        else:
+            dependents = [
+                (pred, len(n_faint[pred]) - 1) for pred in graph.predecessors(node)
+            ]
+        for slot in dependents:
+            if slot not in queued:
+                queued.add(slot)
+                pending.append(slot)
+
+    entry = {node: n_faint[node][0] for node in graph.nodes()}
+    exit_ = {node: exit_value(node) for node in graph.nodes()}
+    return FaintVariables(graph, universe, entry, exit_, evaluations)
+
+
+def _solve_slotwise(graph: FlowGraph, universe: Universe) -> FaintVariables:
+    """The paper's formulation at its finest granularity: one worklist
+    entry per *slot* ``(ι, x)``.
+
+    "The only subtlety here is that a slot ``(ι, x)`` … may be influenced
+    not only by the x-slot of some successor node, but also by the slot
+    ``(ι, lhs_ι)``.  This must be taken care of by additionally updating
+    the worklist with all slots ``(ι, z)``, where ``z`` is a right-hand
+    side variable of ``ι``, whenever the slot ``(ι, lhs_ι)`` has been
+    processed successfully."  (Section 5.2)
+
+    Each slot flips at most once from true to false, giving the
+    ``O(i·v)``-ish bound of Section 6.1.2 directly.
+    """
+    top = universe.full
+    boundary = top & ~universe.mask(graph.globals)
+    variables = universe.names
+
+    n_faint: Dict[str, List[int]] = {
+        node: [top] * max(1, len(graph.statements(node))) for node in graph.nodes()
+    }
+
+    def x_bit(node: str, index: int, var: str) -> bool:
+        """``X-FAINT`` of position ``index`` at slot ``var``."""
+        if index < len(n_faint[node]) - 1:
+            return bool(universe.test(n_faint[node][index + 1], var))
+        if node == graph.end:
+            return bool(universe.test(boundary, var))
+        for successor in graph.successors(node):
+            if not universe.test(n_faint[successor][0], var):
+                return False
+        return True
+
+    def evaluate(node: str, index: int, var: str) -> bool:
+        statements = graph.statements(node)
+        if index >= len(statements):
+            return x_bit(node, index, var)  # empty block: pass-through
+        stmt = statements[index]
+        if isinstance(stmt, Assign):
+            first = x_bit(node, index, var) or var == stmt.lhs
+            second = x_bit(node, index, stmt.lhs) or var not in stmt.rhs.variables()
+            return first and second
+        if var in stmt.relevant_used():
+            return False
+        return x_bit(node, index, var)
+
+    pending: List[Tuple[str, int, str]] = []
+    queued: set = set()
+
+    def enqueue(node: str, index: int, var: str) -> None:
+        slot = (node, index, var)
+        if slot not in queued:
+            queued.add(slot)
+            pending.append(slot)
+
+    for node in graph.nodes():
+        for index in range(len(n_faint[node]) - 1, -1, -1):
+            for var in variables:
+                enqueue(node, index, var)
+
+    evaluations = 0
+    while pending:
+        node, index, var = pending.pop(0)
+        queued.discard((node, index, var))
+        evaluations += 1
+        if not universe.test(n_faint[node][index], var):
+            continue  # already false: monotone, cannot change back
+        if evaluate(node, index, var):
+            continue
+        n_faint[node][index] &= ~universe.bit(var)
+
+        # Dependents: the x-slots reading this N value...
+        if index > 0:
+            readers = [(node, index - 1)]
+        else:
+            readers = [(p, len(n_faint[p]) - 1) for p in graph.predecessors(node)]
+        statements_of = graph.statements
+        for reader_node, reader_index in readers:
+            enqueue(reader_node, reader_index, var)
+            # ...plus the paper's extra update: when this slot is the
+            # lhs-slot of the reading assignment, its rhs slots depend
+            # on it through the third conjunct.
+            reader_statements = statements_of(reader_node)
+            if reader_index < len(reader_statements):
+                reader = reader_statements[reader_index]
+                if isinstance(reader, Assign) and reader.lhs == var:
+                    for rhs_var in reader.rhs.variables():
+                        enqueue(reader_node, reader_index, rhs_var)
+
+    entry = {node: n_faint[node][0] for node in graph.nodes()}
+
+    def exit_value(node: str) -> int:
+        if node == graph.end:
+            return boundary
+        value = top
+        for successor in graph.successors(node):
+            value &= n_faint[successor][0]
+        return value
+
+    exit_ = {node: exit_value(node) for node in graph.nodes()}
+    return FaintVariables(graph, universe, entry, exit_, evaluations)

@@ -1,0 +1,168 @@
+"""Assignment patterns (paper Section 2) and their local sinking predicates.
+
+An **assignment pattern** ``α ≡ x := t`` is a string-level equivalence
+class of assignment statements; the delayability analysis of Table 2
+works on bit-vectors indexed by the patterns occurring in the program.
+
+This module computes, per basic block ``n`` and pattern ``α``, the local
+predicates of Table 2:
+
+* ``LOCDELAYED_n(α)`` — ``n`` contains a **sinking candidate** of ``α``:
+  an occurrence that is not *blocked*, i.e. neither followed by a
+  modification of an operand of ``t`` nor by a modification or a usage
+  of ``x`` (Figure 13; among several occurrences at most the last one
+  is a candidate, since every occurrence blocks its predecessors by
+  modifying ``x``);
+* ``LOCBLOCKED_n(α)`` — some instruction of ``n`` blocks the sinking of
+  ``α``.  An occurrence of ``α`` itself blocks ``α`` (it modifies
+  ``x``); this is what makes incoming delayed instances materialise
+  before a local redefinition, which the *m*-to-*n* sinkings of
+  Figure 7 rely on.
+
+Declared globals are modelled as virtually used at the exit of ``e``
+(paper footnote 2), so ``LOCBLOCKED_e(α)`` holds for every pattern
+assigning a global.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.cfg import FlowGraph
+from ..ir.exprs import Expr
+from ..ir.stmts import Assign, Statement
+from .bitvec import Universe
+
+__all__ = [
+    "PatternInfo",
+    "PatternUniverse",
+    "blocks_sinking",
+    "sinking_candidate_index",
+    "local_predicates",
+]
+
+
+@dataclass(frozen=True)
+class PatternInfo:
+    """Static facts about one assignment pattern ``lhs := rhs``."""
+
+    pattern: str
+    lhs: str
+    rhs: Expr
+    rhs_variables: frozenset[str]
+
+    @staticmethod
+    def of(stmt: Assign) -> "PatternInfo":
+        return PatternInfo(stmt.pattern(), stmt.lhs, stmt.rhs, stmt.rhs.variables())
+
+    def instance(self) -> Assign:
+        """A fresh occurrence of this pattern."""
+        return Assign(self.lhs, self.rhs)
+
+
+class PatternUniverse:
+    """The bit universe ``AP`` of assignment patterns in a program."""
+
+    def __init__(self, graph: FlowGraph) -> None:
+        infos: Dict[str, PatternInfo] = {}
+        for _node, _index, stmt in graph.assignments():
+            infos.setdefault(stmt.pattern(), PatternInfo.of(stmt))
+        # Sort for an ordering that is independent of block layout, so
+        # repeated runs of the sinking step are deterministic.
+        self._infos = {name: infos[name] for name in sorted(infos)}
+        self.universe = Universe(self._infos)
+
+    def __len__(self) -> int:
+        return len(self._infos)
+
+    def __iter__(self):
+        return iter(self._infos.values())
+
+    def info(self, pattern: str) -> PatternInfo:
+        return self._infos[pattern]
+
+    def patterns(self) -> Tuple[str, ...]:
+        return tuple(self._infos)
+
+    def members(self, vector: int) -> Tuple[PatternInfo, ...]:
+        return tuple(self._infos[name] for name in self.universe.members(vector))
+
+
+def blocks_sinking(stmt: Statement, info: PatternInfo) -> bool:
+    """Does ``stmt`` block the sinking of pattern ``info``?
+
+    Blocked by an instruction that modifies an operand of ``t``, uses
+    ``x``, or modifies ``x`` (Section 3, Definition 3.2 discussion).
+    """
+    modified = stmt.modified()
+    if modified is not None and (modified in info.rhs_variables or modified == info.lhs):
+        return True
+    return info.lhs in stmt.used()
+
+
+def sinking_candidate_index(
+    statements: Tuple[Statement, ...],
+    info: PatternInfo,
+    virtually_used: frozenset[str] = frozenset(),
+) -> Optional[int]:
+    """The index of the sinking candidate of ``info`` in ``statements``.
+
+    A candidate is an occurrence not followed by any blocking
+    instruction; at most the last occurrence qualifies, so a single
+    backward scan suffices: walk from the end, and the first occurrence
+    met before any blocker is the candidate.
+
+    ``virtually_used`` carries the globals virtually used at the exit of
+    the end node (footnote 2): a pattern assigning one of them is
+    blocked *after* every statement and hence never a candidate there.
+    """
+    if info.lhs in virtually_used:
+        return None
+    for index in range(len(statements) - 1, -1, -1):
+        stmt = statements[index]
+        if isinstance(stmt, Assign) and stmt.pattern() == info.pattern:
+            return index
+        if blocks_sinking(stmt, info):
+            return None
+    return None
+
+
+def local_predicates(
+    graph: FlowGraph, patterns: PatternUniverse, node: str
+) -> Tuple[int, int]:
+    """``(LOCDELAYED_n, LOCBLOCKED_n)`` bit-vectors for block ``node``."""
+    statements = graph.statements(node)
+    virtually_used = graph.globals if node == graph.end else frozenset()
+    loc_delayed = 0
+    loc_blocked = 0
+    for info in patterns:
+        bit = patterns.universe.bit(info.pattern)
+        if sinking_candidate_index(statements, info, virtually_used) is not None:
+            loc_delayed |= bit
+        if any(blocks_sinking(stmt, info) for stmt in statements):
+            loc_blocked |= bit
+        elif node == graph.end and info.lhs in graph.globals:
+            # Virtual use of globals at the end node (paper footnote 2).
+            loc_blocked |= bit
+    return loc_delayed, loc_blocked
+
+
+def local_predicate_table(
+    graph: FlowGraph, patterns: PatternUniverse
+) -> Dict[str, Tuple[int, int]]:
+    """Local predicates for every block."""
+    return {node: local_predicates(graph, patterns, node) for node in graph.nodes()}
+
+
+def candidate_locations(graph: FlowGraph, patterns: PatternUniverse) -> List[Tuple[str, int, str]]:
+    """All sinking candidates as ``(block, index, pattern)`` triples."""
+    locations: List[Tuple[str, int, str]] = []
+    for node in graph.nodes():
+        statements = graph.statements(node)
+        virtually_used = graph.globals if node == graph.end else frozenset()
+        for info in patterns:
+            index = sinking_candidate_index(statements, info, virtually_used)
+            if index is not None:
+                locations.append((node, index, info.pattern))
+    return locations

@@ -1,0 +1,41 @@
+"""The paper's Figures 1–13 as machine-checked program pairs."""
+
+from .base import PaperFigure
+from .fig01_02 import FIGURE as FIG_1_2
+from .fig03_04 import FIGURE as FIG_3_4
+from .fig05_06 import FIGURE as FIG_5_6
+from .fig07 import FIGURE as FIG_7
+from .fig08 import FIGURE as FIG_8
+from .fig09 import FIGURE as FIG_9
+from .fig10 import FIGURE as FIG_10
+from .fig11 import FIGURE as FIG_11
+from .fig12 import FIGURE as FIG_12
+from .fig13 import PANEL as FIG_13_PANEL
+
+#: Every transformation figure, in paper order.
+ALL_FIGURES = (
+    FIG_1_2,
+    FIG_3_4,
+    FIG_5_6,
+    FIG_7,
+    FIG_8,
+    FIG_9,
+    FIG_10,
+    FIG_11,
+    FIG_12,
+)
+
+__all__ = [
+    "PaperFigure",
+    "ALL_FIGURES",
+    "FIG_1_2",
+    "FIG_3_4",
+    "FIG_5_6",
+    "FIG_7",
+    "FIG_8",
+    "FIG_9",
+    "FIG_10",
+    "FIG_11",
+    "FIG_12",
+    "FIG_13_PANEL",
+]

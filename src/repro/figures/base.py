@@ -1,0 +1,47 @@
+"""Common machinery for the paper-figures corpus.
+
+Each ``figNN`` module recreates one figure of the paper as a
+:class:`PaperFigure`: the *before* program exactly as drawn (modulo the
+textual surface syntax) and the *expected* result of ``pde`` (and
+``pfe`` where the figure distinguishes them), frozen from a manually
+reviewed run and cross-checked against the paper's prose.  The
+benchmark ``benchmarks/bench_figures.py`` re-runs every figure and
+asserts the expectation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..ir.cfg import FlowGraph
+from ..ir.parser import parse_program
+
+__all__ = ["PaperFigure"]
+
+
+@dataclass(frozen=True)
+class PaperFigure:
+    """One reproducible paper figure."""
+
+    number: str  # e.g. "1-2" for a before/after pair
+    title: str
+    #: What the paper claims the figure shows; asserted by the tests.
+    claim: str
+    before_text: str
+    expected_pde_text: Optional[str] = None
+    expected_pfe_text: Optional[str] = None
+    notes: str = ""
+
+    def before(self) -> FlowGraph:
+        return parse_program(self.before_text)
+
+    def expected_pde(self) -> Optional[FlowGraph]:
+        if self.expected_pde_text is None:
+            return None
+        return parse_program(self.expected_pde_text)
+
+    def expected_pfe(self) -> Optional[FlowGraph]:
+        if self.expected_pfe_text is None:
+            return None
+        return parse_program(self.expected_pfe_text)

@@ -1,0 +1,63 @@
+"""Figures 5 & 6 — arbitrary control flow: loops and irreducibility.
+
+``x := a + b`` at node 1 is moved *across* the irreducible loop
+construct (nodes 3 ⇄ 4, entered from both sides), removed as dead code
+on the branch through node 6 (which redefines ``x``), and inserted into
+the synthetic node ``S4_5``.  There it is *still partially dead* —
+``x`` is unused when the second loop iterates zero times — but
+eliminating it would require moving ``x := a + b`` *into* the second
+loop, dramatically impairing executions that iterate often.  PDE
+guarantees every execution of the result is at least as fast as the
+corresponding original execution, so it stops exactly here.
+"""
+
+from __future__ import annotations
+
+from .base import PaperFigure
+
+FIGURE = PaperFigure(
+    number="5-6",
+    title="Profitable motion across loops, no fatal motion into loops",
+    claim=(
+        "x := a+b crosses the irreducible loop, dies on the path that "
+        "redefines x, lands in S4_5, and is NOT sunk into the second loop "
+        "although it stays partially dead there"
+    ),
+    before_text="""
+        graph
+        block s -> 1
+        block 1 { x := a + b } -> 2
+        block 2 -> 3, 4
+        block 3 -> 4, 6
+        block 4 -> 3, 5
+        block 6 { x := c } -> 9
+        block 5 -> 7, 10
+        block 7 { y := y + x } -> 5
+        block 9 { out(x) } -> e
+        block 10 { out(y) } -> e
+        block e
+    """,
+    expected_pde_text="""
+        graph
+        block s -> 1
+        block 1 -> 2
+        block 2 -> S2_3, S2_4
+        block 3 -> S3_4, 6
+        block 4 -> S4_3, S4_5
+        block 6 -> 9
+        block 5 -> 7, 10
+        block 7 { y := y + x } -> 5
+        block 9 { x := c; out(x) } -> e
+        block 10 { out(y) } -> e
+        block S2_3 -> 3
+        block S2_4 -> 4
+        block S3_4 -> 4
+        block S4_3 -> 3
+        block S4_5 { x := a + b } -> 5
+        block e
+    """,
+    notes=(
+        "x := c additionally sinks from node 6 to node 9 (its unique use) — "
+        "a further legal improvement the paper's drawing does not show."
+    ),
+)

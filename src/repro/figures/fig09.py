@@ -1,0 +1,50 @@
+"""Figure 9 — a faint but not dead assignment (taken from [18]).
+
+``x := x + 1`` in a loop whose value never reaches a relevant statement
+is not *dead* — its left-hand side is used, by itself, on the next
+iteration — but it is *faint*: the using assignment's own lhs is faint.
+Dead code elimination must keep it; faint code elimination removes it.
+
+PDE still improves the program: the increment moves onto the back edge
+(node ``S2_2``), so the final iteration's — provably useless — update
+is no longer executed.  PFE removes the assignment outright.
+"""
+
+from __future__ import annotations
+
+from .base import PaperFigure
+
+FIGURE = PaperFigure(
+    number="9",
+    title="Faint code is out of reach for dead code elimination",
+    claim=(
+        "pde keeps x := x+1 (moved to the back edge, saving the last "
+        "iteration's update); pfe eliminates it entirely"
+    ),
+    before_text="""
+        graph
+        block s -> 1
+        block 1 {} -> 2
+        block 2 { x := x + 1 } -> 2, 3
+        block 3 { out(y) } -> e
+        block e
+    """,
+    expected_pde_text="""
+        graph
+        block s -> 1
+        block 1 {} -> 2
+        block 2 {} -> S2_2, 3
+        block 3 { out(y) } -> e
+        block S2_2 { x := x + 1 } -> 2
+        block e
+    """,
+    expected_pfe_text="""
+        graph
+        block s -> 1
+        block 1 {} -> 2
+        block 2 {} -> S2_2, 3
+        block 3 { out(y) } -> e
+        block S2_2 {} -> 2
+        block e
+    """,
+)

@@ -1,0 +1,41 @@
+"""Figure 11 — the elimination-sinking effect.
+
+Neither assignment of node 1 can be sunk admissibly: ``y := a + b``
+cannot pass ``a := c`` (operand redefined), and ``a := c`` is at the
+block's end with its lhs unused anywhere — sinking it nowhere helps.
+But ``a := c`` is *dead* and disappears under dead code elimination;
+its removal unblocks ``y := a + b``, which then moves onto the
+branches, dying where ``y`` is redefined.
+"""
+
+from __future__ import annotations
+
+from .base import PaperFigure
+
+FIGURE = PaperFigure(
+    number="11",
+    title="Eliminating a dead assignment enables further sinking",
+    claim=(
+        "the dead a := c disappears first; then y := a+b moves past the "
+        "fork, is eliminated under the y := 7 redefinition and kept on "
+        "the branch reaching out(y)"
+    ),
+    before_text="""
+        graph
+        block s -> 1
+        block 1 { y := a + b; a := c } -> 2, 3
+        block 2 { y := 7 } -> 4
+        block 3 {} -> 4
+        block 4 { out(y) } -> e
+        block e
+    """,
+    expected_pde_text="""
+        graph
+        block s -> 1
+        block 1 {} -> 2, 3
+        block 2 { y := 7 } -> 4
+        block 3 { y := a + b } -> 4
+        block 4 { out(y) } -> e
+        block e
+    """,
+)

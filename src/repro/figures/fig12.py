@@ -1,0 +1,57 @@
+"""Figure 12 — the elimination-elimination effect.
+
+``y := a + b`` at node 4 is dead (``y`` is redefined at node 5 before
+its use), and only *after* its removal does ``a := 2`` at node 1 become
+dead too.  For partial **dead** code elimination this is a second-order
+effect requiring two elimination passes; for partial **faint** code
+elimination it is first-order — both assignments are faint and fall in
+a single ``fce`` pass (the test and benchmark assert exactly this
+asymmetry).
+"""
+
+from __future__ import annotations
+
+from .base import PaperFigure
+
+FIGURE = PaperFigure(
+    number="12",
+    title="Eliminating dead code exposes more dead code",
+    claim=(
+        "both assignments disappear; iterated dce needs two passes while "
+        "one fce pass removes both simultaneously"
+    ),
+    before_text="""
+        graph
+        block s -> 1
+        block 1 { a := 2 } -> 2
+        block 2 {} -> 3, 4
+        block 3 {} -> 5
+        block 4 { y := a + b } -> 5
+        block 5 { y := c + d } -> 6
+        block 6 { out(y) } -> e
+        block e
+    """,
+    expected_pde_text="""
+        graph
+        block s -> 1
+        block 1 {} -> 2
+        block 2 {} -> 3, 4
+        block 3 {} -> 5
+        block 4 {} -> 5
+        block 5 {} -> 6
+        block 6 { y := c + d; out(y) } -> e
+        block e
+    """,
+    expected_pfe_text="""
+        graph
+        block s -> 1
+        block 1 {} -> 2
+        block 2 {} -> 3, 4
+        block 3 {} -> 5
+        block 4 {} -> 5
+        block 5 {} -> 6
+        block 6 { y := c + d; out(y) } -> e
+        block e
+    """,
+    notes="y := c+d also sinks to its use in node 6.",
+)

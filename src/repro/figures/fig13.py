@@ -1,0 +1,64 @@
+"""Figure 13 — sinking candidates of ``y := a + b`` within a basic block.
+
+Sinking candidates are occurrences that are not *blocked*: neither
+followed by a modification of an operand nor by a modification or usage
+of the left-hand side.  Among several occurrences of a pattern in one
+block at most the **last** can be a candidate — every occurrence blocks
+its predecessors by modifying the lhs.
+
+The figure shows three block variants; this module encodes them with
+the expected candidate position of ``y := a + b`` in each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..ir.builder import block_statements
+from ..ir.stmts import Statement
+
+__all__ = ["PANEL", "CandidatePanel"]
+
+
+@dataclass(frozen=True)
+class CandidatePanel:
+    """One block variant with the expected candidate index."""
+
+    label: str
+    source: str
+    #: expected index of the sinking candidate of ``y := a + b`` (None =
+    #: blocked).
+    expected_index: Optional[int]
+
+    def statements(self) -> Tuple[Statement, ...]:
+        return tuple(block_statements(self.source))
+
+
+PANEL: Tuple[CandidatePanel, ...] = (
+    CandidatePanel(
+        label="blocked by operand modification",
+        source="y := a + b; a := c; x := 3 * y",
+        expected_index=None,
+    ),
+    CandidatePanel(
+        label="last occurrence is the candidate",
+        source="y := a + b; a := c; x := 3 * y; y := a + b",
+        expected_index=3,
+    ),
+    CandidatePanel(
+        label="blocked by a later operand modification",
+        source="y := a + b; a := d",
+        expected_index=None,
+    ),
+    CandidatePanel(
+        label="unblocked single occurrence",
+        source="x := 3; y := a + b",
+        expected_index=1,
+    ),
+    CandidatePanel(
+        label="blocked by a use of the lhs",
+        source="y := a + b; out(y)",
+        expected_index=None,
+    ),
+)

@@ -1,0 +1,13 @@
+"""Reference interpreter and path utilities (the semantics oracle)."""
+
+from .interpreter import DecisionSequence, InterpreterError, Run, execute
+from .paths import count_pattern_on_path, enumerate_paths
+
+__all__ = [
+    "DecisionSequence",
+    "InterpreterError",
+    "Run",
+    "execute",
+    "count_pattern_on_path",
+    "enumerate_paths",
+]

@@ -1,0 +1,147 @@
+"""Reference interpreter for flow graphs — the semantics oracle.
+
+Paper Section 2 treats branching as **nondeterministic**: the meaning of
+a program is, per path, the sequence of values produced by relevant
+statements (``out``).  The interpreter therefore runs a program under an
+explicit *decision oracle* that resolves branches:
+
+* a :class:`DecisionSequence` — a pre-recorded list of successor
+  indices, the same sequence replayable against the original and the
+  transformed program (their branching structures coincide, so the
+  decision sequences transfer directly); blocks carrying a real
+  :class:`~repro.ir.stmts.Branch` condition consume their condition
+  instead of the oracle, unless ``force_oracle`` is set;
+* or nothing, for programs whose branches are all conditional.
+
+The run records everything the reproduction needs to compare programs:
+
+* the ``out`` value sequence (observable semantics),
+* the number of executed assignments, total and per pattern (the
+  dynamic-cost measure behind Definition 3.6's "at least as fast"),
+* whether a run-time error occurred (footnote 3: eliminations may make
+  errors disappear — never appear).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ir.cfg import FlowGraph
+from ..ir.exprs import EvalError
+from ..ir.stmts import Assign, Branch, Out, Skip
+
+__all__ = ["DecisionSequence", "Run", "execute", "InterpreterError"]
+
+
+class InterpreterError(Exception):
+    """Raised on non-semantic failures (exhausted oracle, step limit)."""
+
+
+class DecisionSequence:
+    """A replayable source of branch decisions.
+
+    Each decision is the *index* of the successor to take at a block with
+    more than one successor.  Out-of-range indices are reduced modulo the
+    successor count, so one random integer sequence drives any program
+    shape — handy for hypothesis-generated oracles.
+    """
+
+    def __init__(self, decisions: Sequence[int]) -> None:
+        self._decisions = list(decisions)
+        self._cursor = 0
+
+    def next_decision(self, fanout: int) -> int:
+        if self._cursor >= len(self._decisions):
+            raise InterpreterError("decision sequence exhausted")
+        value = self._decisions[self._cursor] % fanout
+        self._cursor += 1
+        return value
+
+    def reset(self) -> "DecisionSequence":
+        self._cursor = 0
+        return self
+
+
+@dataclass
+class Run:
+    """The observable outcome of one execution."""
+
+    #: Values produced by ``out`` statements, in order.
+    outputs: List[int] = field(default_factory=list)
+    #: Visited blocks, in order (including ``s`` and ``e``).
+    trace: List[str] = field(default_factory=list)
+    #: Executed assignment count per pattern.
+    executed: Dict[str, int] = field(default_factory=dict)
+    #: Final variable environment.
+    env: Dict[str, int] = field(default_factory=dict)
+    #: The run-time error that aborted the run, if any.
+    error: Optional[str] = None
+
+    @property
+    def total_assignments(self) -> int:
+        return sum(self.executed.values())
+
+    def observable(self) -> Tuple[Tuple[int, ...], Optional[str]]:
+        """What Definition 3.5 semantics preserves: outputs (+ error)."""
+        return (tuple(self.outputs), self.error)
+
+
+def execute(
+    graph: FlowGraph,
+    env: Optional[Dict[str, int]] = None,
+    decisions: Optional[DecisionSequence] = None,
+    max_steps: int = 10_000,
+    force_oracle: bool = False,
+) -> Run:
+    """Execute ``graph`` from ``s`` until ``e`` and return the :class:`Run`.
+
+    ``env`` supplies initial variable values (default: every variable
+    referenced by the program starts at 0, so uninitialised reads are
+    deterministic).  ``max_steps`` bounds the number of executed
+    statements to keep nondeterministic loops finite.
+    """
+    run = Run()
+    run.env = dict(env) if env else {}
+    for name in sorted(graph.variables()):
+        run.env.setdefault(name, 0)
+
+    node = graph.start
+    steps = 0
+    while True:
+        run.trace.append(node)
+        taken: Optional[int] = None
+        for stmt in graph.statements(node):
+            steps += 1
+            if steps > max_steps:
+                raise InterpreterError(f"exceeded {max_steps} executed statements")
+            try:
+                if isinstance(stmt, Assign):
+                    run.env[stmt.lhs] = stmt.rhs.evaluate(run.env)
+                    pattern = stmt.pattern()
+                    run.executed[pattern] = run.executed.get(pattern, 0) + 1
+                elif isinstance(stmt, Out):
+                    run.outputs.append(stmt.expr.evaluate(run.env))
+                elif isinstance(stmt, Branch) and not force_oracle:
+                    taken = 0 if stmt.cond.evaluate(run.env) else 1
+                elif isinstance(stmt, Skip) or isinstance(stmt, Branch):
+                    pass
+            except EvalError as error:
+                run.error = str(error)
+                return run
+
+        if node == graph.end:
+            return run
+        successors = graph.successors(node)
+        if not successors:
+            raise InterpreterError(f"stuck at block {node!r} (no successors)")
+        if len(successors) == 1:
+            node = successors[0]
+        elif taken is not None:
+            node = successors[taken]
+        else:
+            if decisions is None:
+                raise InterpreterError(
+                    f"nondeterministic branch at {node!r} without a decision sequence"
+                )
+            node = successors[decisions.next_decision(len(successors))]

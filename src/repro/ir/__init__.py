@@ -1,0 +1,73 @@
+"""Flow-graph intermediate representation (paper Section 2).
+
+Public surface::
+
+    from repro.ir import (
+        FlowGraph, GraphBuilder, parse_program, parse_expr,
+        Assign, Out, Skip, Branch, Var, Const, BinOp, UnaryOp,
+        split_critical_edges, format_graph, to_dot, validate,
+    )
+"""
+
+from .cfg import END, START, FlowGraph, FlowGraphError
+from .builder import GraphBuilder, block_statements
+from .dot import to_dot
+from .exprs import BinOp, Const, EvalError, Expr, UnaryOp, Var
+from .lexer import LexError, tokenize
+from .parser import ParseError, parse_expr, parse_program, parse_statement
+from .printer import format_block, format_graph, format_side_by_side
+from .jsonio import dump_graph, graph_from_json, graph_to_json, load_graph
+from .loops import NaturalLoop, back_edges, irreducible_cycle_nodes, natural_loops
+from .simplify import merge_chains, remove_skips, tidy
+from .splitting import critical_edges, is_synthetic, split_critical_edges
+from .stmts import Assign, Branch, Out, Skip, Statement, lhs_of, pattern_of
+from .validate import ValidationError, check, validate
+
+__all__ = [
+    "START",
+    "END",
+    "FlowGraph",
+    "FlowGraphError",
+    "GraphBuilder",
+    "block_statements",
+    "to_dot",
+    "BinOp",
+    "Const",
+    "EvalError",
+    "Expr",
+    "UnaryOp",
+    "Var",
+    "LexError",
+    "tokenize",
+    "ParseError",
+    "parse_expr",
+    "parse_program",
+    "parse_statement",
+    "format_block",
+    "format_graph",
+    "format_side_by_side",
+    "critical_edges",
+    "is_synthetic",
+    "split_critical_edges",
+    "merge_chains",
+    "remove_skips",
+    "tidy",
+    "dump_graph",
+    "graph_from_json",
+    "graph_to_json",
+    "load_graph",
+    "NaturalLoop",
+    "back_edges",
+    "irreducible_cycle_nodes",
+    "natural_loops",
+    "Assign",
+    "Branch",
+    "Out",
+    "Skip",
+    "Statement",
+    "lhs_of",
+    "pattern_of",
+    "ValidationError",
+    "check",
+    "validate",
+]

@@ -1,0 +1,101 @@
+"""Programmatic flow-graph construction.
+
+The paper's figures are drawn as numbered basic blocks with explicit
+edges; :class:`GraphBuilder` lets the figures corpus (and tests) write
+them down almost verbatim::
+
+    g = GraphBuilder()
+    g.block(1, "y := a + b")
+    g.block(2)
+    g.block(3, "y := 4")
+    g.block(4, "x := y + 3")
+    g.block(5, "out(x); out(y)")
+    g.chain("s", 1)
+    g.edges((1, 2), (1, 3), (2, 4), (3, 4), (4, 5))
+    g.chain(5, "e")
+    graph = g.build()
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple, Union
+
+from .cfg import END, START, FlowGraph
+from .parser import parse_statement
+from .stmts import Statement, is_statement
+
+__all__ = ["GraphBuilder", "block_statements"]
+
+BlockName = Union[str, int]
+StatementsSpec = Union[str, Statement, Sequence[Statement], None]
+
+
+def block_statements(spec: StatementsSpec) -> List[Statement]:
+    """Normalise a statements specification.
+
+    Accepts a ``;``-separated source string, a single statement, a
+    sequence of statements, or None (empty block).
+    """
+    if spec is None:
+        return []
+    if isinstance(spec, str):
+        return [
+            parse_statement(part)
+            for part in (chunk.strip() for chunk in spec.split(";"))
+            if part
+        ]
+    if is_statement(spec):
+        return [spec]  # type: ignore[list-item]
+    return list(spec)  # type: ignore[arg-type]
+
+
+class GraphBuilder:
+    """Incremental construction of a :class:`FlowGraph`."""
+
+    def __init__(
+        self,
+        start: str = START,
+        end: str = END,
+        globals_: Iterable[str] = (),
+    ) -> None:
+        self._graph = FlowGraph(start, end, globals_)
+        self._built = False
+
+    @staticmethod
+    def _name(name: BlockName) -> str:
+        return str(name)
+
+    def block(self, name: BlockName, statements: StatementsSpec = None) -> "GraphBuilder":
+        """Declare block ``name`` with the given statements."""
+        label = self._name(name)
+        if not self._graph.has_block(label):
+            self._graph.add_block(label)
+        self._graph.set_statements(label, block_statements(statements))
+        return self
+
+    def edge(self, src: BlockName, dst: BlockName) -> "GraphBuilder":
+        """Add the edge ``src -> dst``; blocks are created on demand."""
+        for name in (src, dst):
+            label = self._name(name)
+            if not self._graph.has_block(label):
+                self._graph.add_block(label)
+        self._graph.add_edge(self._name(src), self._name(dst))
+        return self
+
+    def edges(self, *pairs: Tuple[BlockName, BlockName]) -> "GraphBuilder":
+        for src, dst in pairs:
+            self.edge(src, dst)
+        return self
+
+    def chain(self, *names: BlockName) -> "GraphBuilder":
+        """Add edges linking consecutive ``names``."""
+        for src, dst in zip(names, names[1:]):
+            self.edge(src, dst)
+        return self
+
+    def build(self) -> FlowGraph:
+        """Return the constructed graph (builder becomes unusable)."""
+        if self._built:
+            raise RuntimeError("GraphBuilder.build() called twice")
+        self._built = True
+        return self._graph

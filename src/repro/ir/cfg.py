@@ -1,0 +1,247 @@
+"""Directed flow graphs ``G = (N, E, s, e)``.
+
+Following paper Section 2:
+
+* nodes represent **basic blocks** of statements,
+* edges represent the **nondeterministic branching structure**,
+* ``s`` and ``e`` are the unique start and end node, both representing the
+  empty statement ``skip``; ``s`` has no predecessors and ``e`` has no
+  successors, and every node lies on some path from ``s`` to ``e``.
+
+The graph is mutable — the optimiser's elementary transformations rewrite
+block statement lists in place — and :meth:`FlowGraph.copy` produces an
+independent clone, so callers can keep the original program around for
+comparison (every benchmark and test does).
+
+Successor lists are **ordered**: when a two-way block ends in a
+:class:`~repro.ir.stmts.Branch`, the first successor is the "true" target.
+Analyses never depend on the order; the interpreter does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .stmts import Assign, Branch, Statement
+
+__all__ = ["FlowGraph", "FlowGraphError", "START", "END"]
+
+#: Conventional names for the unique start and end nodes.
+START = "s"
+END = "e"
+
+
+class FlowGraphError(Exception):
+    """Raised for structurally invalid flow-graph operations."""
+
+
+class FlowGraph:
+    """A control flow graph over basic blocks of statements."""
+
+    def __init__(
+        self,
+        start: str = START,
+        end: str = END,
+        globals_: Iterable[str] = (),
+    ) -> None:
+        self._blocks: Dict[str, List[Statement]] = {start: [], end: []}
+        self._succ: Dict[str, List[str]] = {start: [], end: []}
+        self._pred: Dict[str, List[str]] = {start: [], end: []}
+        self.start = start
+        self.end = end
+        #: Variables whose declaration is outside this flow graph; the paper
+        #: (footnote 2) requires assignments to them to be considered
+        #: relevant, which we model as a virtual use at ``e``.
+        self.globals = frozenset(globals_)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_block(self, name: str, statements: Sequence[Statement] = ()) -> str:
+        """Add an (initially unconnected) basic block and return its name."""
+        if name in self._blocks:
+            raise FlowGraphError(f"duplicate block {name!r}")
+        self._blocks[name] = list(statements)
+        self._succ[name] = []
+        self._pred[name] = []
+        return name
+
+    def add_edge(self, src: str, dst: str) -> None:
+        """Add the edge ``(src, dst)``; parallel edges are rejected."""
+        self._require(src)
+        self._require(dst)
+        if dst in self._succ[src]:
+            raise FlowGraphError(f"duplicate edge ({src!r}, {dst!r})")
+        if src == self.end:
+            raise FlowGraphError("the end node must not have successors")
+        if dst == self.start:
+            raise FlowGraphError("the start node must not have predecessors")
+        self._succ[src].append(dst)
+        self._pred[dst].append(src)
+
+    def remove_edge(self, src: str, dst: str) -> None:
+        self._require(src)
+        self._require(dst)
+        try:
+            self._succ[src].remove(dst)
+            self._pred[dst].remove(src)
+        except ValueError:
+            raise FlowGraphError(f"no edge ({src!r}, {dst!r})") from None
+
+    def _require(self, name: str) -> None:
+        if name not in self._blocks:
+            raise FlowGraphError(f"unknown block {name!r}")
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def nodes(self) -> Tuple[str, ...]:
+        """All block names, in insertion order (deterministic)."""
+        return tuple(self._blocks)
+
+    def edges(self) -> Iterator[Tuple[str, str]]:
+        for src, targets in self._succ.items():
+            for dst in targets:
+                yield (src, dst)
+
+    def successors(self, name: str) -> Tuple[str, ...]:
+        """The paper's ``succ(n)`` (ordered)."""
+        self._require(name)
+        return tuple(self._succ[name])
+
+    def predecessors(self, name: str) -> Tuple[str, ...]:
+        """The paper's ``pred(n)`` (ordered)."""
+        self._require(name)
+        return tuple(self._pred[name])
+
+    def statements(self, name: str) -> Tuple[Statement, ...]:
+        self._require(name)
+        return tuple(self._blocks[name])
+
+    def set_statements(self, name: str, statements: Sequence[Statement]) -> None:
+        """Replace the statement list of block ``name``.
+
+        Input programs keep ``s`` and ``e`` empty (they represent ``skip``,
+        Section 2), but the transformations may insert assignments at the
+        entry of ``e`` — e.g. sunk assignments to global variables — so no
+        emptiness restriction is enforced here; see ``ir.validate``.
+        """
+        self._require(name)
+        self._blocks[name] = list(statements)
+
+    def has_block(self, name: str) -> bool:
+        return name in self._blocks
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    # ------------------------------------------------------------------
+    # Derived program-wide facts
+    # ------------------------------------------------------------------
+    def instruction_count(self) -> int:
+        """The paper's ``i``: number of instructions in the program."""
+        return sum(len(stmts) for stmts in self._blocks.values())
+
+    def variables(self) -> frozenset[str]:
+        """All variables occurring in the program (the paper's ``V``),
+        including declared globals."""
+        names: set[str] = set(self.globals)
+        for stmts in self._blocks.values():
+            for stmt in stmts:
+                names |= stmt.used()
+                modified = stmt.modified()
+                if modified is not None:
+                    names.add(modified)
+        return frozenset(names)
+
+    def assignment_patterns(self) -> Tuple[str, ...]:
+        """The paper's ``AP``: assignment patterns occurring in the program,
+        in first-occurrence order (deterministic)."""
+        seen: Dict[str, None] = {}
+        for name in self._blocks:
+            for stmt in self._blocks[name]:
+                if isinstance(stmt, Assign):
+                    seen.setdefault(stmt.pattern(), None)
+        return tuple(seen)
+
+    def assignments(self) -> Iterator[Tuple[str, int, Assign]]:
+        """Yield ``(block, index, statement)`` for every assignment."""
+        for name in self._blocks:
+            for index, stmt in enumerate(self._blocks[name]):
+                if isinstance(stmt, Assign):
+                    yield (name, index, stmt)
+
+    def pattern_occurrences(self, pattern: str) -> List[Tuple[str, int]]:
+        """Locations of every occurrence of ``pattern`` (``α#`` support)."""
+        return [
+            (name, index)
+            for name, index, stmt in self.assignments()
+            if stmt.pattern() == pattern
+        ]
+
+    def branch_of(self, name: str) -> Optional[Branch]:
+        """The trailing :class:`Branch` of block ``name``, if present."""
+        stmts = self._blocks[name]
+        if stmts and isinstance(stmts[-1], Branch):
+            return stmts[-1]
+        return None
+
+    # ------------------------------------------------------------------
+    # Copying / equality
+    # ------------------------------------------------------------------
+    def copy(self) -> "FlowGraph":
+        """An independent clone (statements are immutable and shared)."""
+        clone = FlowGraph.__new__(FlowGraph)
+        clone._blocks = {name: list(stmts) for name, stmts in self._blocks.items()}
+        clone._succ = {name: list(targets) for name, targets in self._succ.items()}
+        clone._pred = {name: list(sources) for name, sources in self._pred.items()}
+        clone.start = self.start
+        clone.end = self.end
+        clone.globals = self.globals
+        return clone
+
+    def same_shape(self, other: "FlowGraph") -> bool:
+        """True when both graphs have identical nodes and edges.
+
+        The paper's transformations preserve the branching structure
+        (Definition 3.6, footnote 5); this is the corresponding check.
+        """
+        return (
+            set(self._blocks) == set(other._blocks)
+            and {n: set(t) for n, t in self._succ.items()}
+            == {n: set(t) for n, t in other._succ.items()}
+            and self.start == other.start
+            and self.end == other.end
+        )
+
+    def fingerprint(self) -> Tuple:
+        """A hashable rendering of the whole program.
+
+        Used by the driver to detect stabilisation (paper Section 5.4) and
+        by tests to assert exact expected results.
+        """
+        return (
+            self.start,
+            self.end,
+            self.globals,
+            tuple(sorted((name, tuple(stmts)) for name, stmts in self._blocks.items())),
+            tuple(sorted((name, tuple(targets)) for name, targets in self._succ.items())),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FlowGraph):
+            return NotImplemented
+        return self.fingerprint() == other.fingerprint()
+
+    def __hash__(self) -> int:
+        return hash(self.fingerprint())
+
+    def __repr__(self) -> str:
+        return (
+            f"<FlowGraph {len(self._blocks)} blocks, "
+            f"{sum(len(t) for t in self._succ.values())} edges, "
+            f"{self.instruction_count()} instructions>"
+        )

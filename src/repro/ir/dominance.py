@@ -1,0 +1,64 @@
+"""Dominator computation.
+
+A block ``a`` dominates ``b`` when every path from the start node to
+``b`` passes through ``a``.  The core PDE algorithm never needs
+dominators (its delayability product encodes the necessary justification
+directly), but the Briggs/Cooper-style naive-sinking baseline uses them
+to keep its greedy moves semantics-preserving.
+
+Implementation: the classic iterative set intersection over a reverse
+post-order, which is simple and fast enough at our scales.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set
+
+from .cfg import FlowGraph
+
+__all__ = ["dominators", "dominates"]
+
+
+def _reverse_postorder(graph: FlowGraph) -> List[str]:
+    order: List[str] = []
+    seen: Set[str] = set()
+
+    def visit(node: str) -> None:
+        seen.add(node)
+        for successor in graph.successors(node):
+            if successor not in seen:
+                visit(successor)
+        order.append(node)
+
+    visit(graph.start)
+    order.reverse()
+    return order
+
+
+def dominators(graph: FlowGraph) -> Dict[str, FrozenSet[str]]:
+    """Map each reachable block to its full dominator set (including itself)."""
+    order = _reverse_postorder(graph)
+    everything = frozenset(order)
+    dom: Dict[str, FrozenSet[str]] = {node: everything for node in order}
+    dom[graph.start] = frozenset((graph.start,))
+
+    changed = True
+    while changed:
+        changed = False
+        for node in order:
+            if node == graph.start:
+                continue
+            preds = [p for p in graph.predecessors(node) if p in dom]
+            if not preds:
+                continue
+            meet = frozenset.intersection(*(dom[p] for p in preds))
+            updated = meet | {node}
+            if updated != dom[node]:
+                dom[node] = updated
+                changed = True
+    return dom
+
+
+def dominates(graph: FlowGraph, a: str, b: str) -> bool:
+    """Does ``a`` dominate ``b``?"""
+    return a in dominators(graph).get(b, frozenset())

@@ -1,0 +1,41 @@
+"""Graphviz (dot) export of flow graphs.
+
+Produces drawings in the visual style of the paper's figures: numbered
+boxes containing statement lists, with the start and end node drawn as
+small circles.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .cfg import FlowGraph
+
+__all__ = ["to_dot"]
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_dot(graph: FlowGraph, title: str = "") -> str:
+    """Render ``graph`` as a Graphviz digraph."""
+    lines: List[str] = ["digraph flowgraph {"]
+    if title:
+        lines.append(f'  label="{_escape(title)}";')
+        lines.append("  labelloc=t;")
+    lines.append("  node [shape=box, fontname=monospace];")
+    for name in graph.nodes():
+        statements = graph.statements(name)
+        if name in (graph.start, graph.end):
+            lines.append(f'  "{_escape(name)}" [shape=circle, label="{_escape(name)}"];')
+            continue
+        body = "\\l".join(_escape(str(stmt)) for stmt in statements)
+        if body:
+            body += "\\l"
+        label = f"{_escape(name)}|{body}" if body else _escape(name)
+        lines.append(f'  "{_escape(name)}" [shape=record, label="{{{label}}}"];')
+    for src, dst in graph.edges():
+        lines.append(f'  "{_escape(src)}" -> "{_escape(dst)}";')
+    lines.append("}")
+    return "\n".join(lines) + "\n"

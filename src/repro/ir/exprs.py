@@ -1,0 +1,219 @@
+"""Expression terms of the flow-graph language.
+
+The paper (Section 2) works with variables ``v ∈ V`` and terms ``t ∈ T``.
+The exact term language is irrelevant to the analyses — they only need to
+know, for a term ``t``, the set of variables occurring in it.  We provide a
+small, conventional expression language (variables, integer constants,
+unary and binary operators) that is rich enough for all paper figures and
+for the reference interpreter.
+
+Expressions are immutable and hashable; structural equality is the
+equality used throughout (two occurrences of ``a + b`` are the *same
+term*, which is what makes assignment patterns well-defined).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Union
+
+__all__ = [
+    "Expr",
+    "Var",
+    "Const",
+    "UnaryOp",
+    "BinOp",
+    "EvalError",
+    "BINARY_OPERATORS",
+    "UNARY_OPERATORS",
+]
+
+
+class EvalError(Exception):
+    """Raised when evaluating an expression fails (e.g. division by zero).
+
+    The paper explicitly notes (footnote 3) that dead code elimination may
+    *reduce* the potential of run-time errors; the interpreter uses this
+    exception to model such errors faithfully.
+    """
+
+
+#: Binary operators understood by the parser and the interpreter.
+BINARY_OPERATORS = ("+", "-", "*", "/", "%", "<", "<=", ">", ">=", "==", "!=")
+
+#: Unary operators understood by the parser and the interpreter.
+UNARY_OPERATORS = ("-", "!")
+
+
+@dataclass(frozen=True)
+class Var:
+    """A program variable ``v ∈ V``."""
+
+    name: str
+
+    def variables(self) -> frozenset[str]:
+        return frozenset((self.name,))
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        try:
+            return env[self.name]
+        except KeyError:
+            raise EvalError(f"variable {self.name!r} is uninitialised") from None
+
+    def subterms(self) -> Iterator["Expr"]:
+        yield self
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const:
+    """An integer literal."""
+
+    value: int
+
+    def variables(self) -> frozenset[str]:
+        return frozenset()
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return self.value
+
+    def subterms(self) -> Iterator["Expr"]:
+        yield self
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    """A unary operator application, e.g. ``-a`` or ``!flag``."""
+
+    op: str
+    operand: "Expr"
+
+    def __post_init__(self) -> None:
+        if self.op not in UNARY_OPERATORS:
+            raise ValueError(f"unknown unary operator {self.op!r}")
+
+    def variables(self) -> frozenset[str]:
+        return self.operand.variables()
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        value = self.operand.evaluate(env)
+        if self.op == "-":
+            return -value
+        return int(not value)
+
+    def subterms(self) -> Iterator["Expr"]:
+        yield self
+        yield from self.operand.subterms()
+
+    def __str__(self) -> str:
+        return f"{self.op}{_wrap(self.operand)}"
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """A binary operator application, e.g. ``a + b``."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def __post_init__(self) -> None:
+        if self.op not in BINARY_OPERATORS:
+            raise ValueError(f"unknown binary operator {self.op!r}")
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        lhs = self.left.evaluate(env)
+        rhs = self.right.evaluate(env)
+        return _apply_binary(self.op, lhs, rhs)
+
+    def subterms(self) -> Iterator["Expr"]:
+        yield self
+        yield from self.left.subterms()
+        yield from self.right.subterms()
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.left)} {self.op} {_wrap(self.right)}"
+
+
+Expr = Union[Var, Const, UnaryOp, BinOp]
+
+
+def _wrap(expr: Expr) -> str:
+    """Render ``expr``, parenthesising compound subterms."""
+    text = str(expr)
+    if isinstance(expr, (BinOp, UnaryOp)):
+        return f"({text})"
+    return text
+
+
+def _apply_binary(op: str, lhs: int, rhs: int) -> int:
+    if op == "+":
+        return lhs + rhs
+    if op == "-":
+        return lhs - rhs
+    if op == "*":
+        return lhs * rhs
+    if op == "/":
+        if rhs == 0:
+            raise EvalError("division by zero")
+        # Truncating division, as in C-family languages.
+        return int(lhs / rhs)
+    if op == "%":
+        if rhs == 0:
+            raise EvalError("modulo by zero")
+        return lhs - int(lhs / rhs) * rhs
+    if op == "<":
+        return int(lhs < rhs)
+    if op == "<=":
+        return int(lhs <= rhs)
+    if op == ">":
+        return int(lhs > rhs)
+    if op == ">=":
+        return int(lhs >= rhs)
+    if op == "==":
+        return int(lhs == rhs)
+    if op == "!=":
+        return int(lhs != rhs)
+    raise AssertionError(f"unreachable operator {op!r}")
+
+
+def is_expr(value: object) -> bool:
+    """Return True when ``value`` is one of the expression node types."""
+    return isinstance(value, (Var, Const, UnaryOp, BinOp))
+
+
+def substitute(expr: Expr, bindings: Mapping[str, Expr]) -> Expr:
+    """Return ``expr`` with variables replaced according to ``bindings``.
+
+    Used by tests and by the workload generator; the optimiser itself never
+    rewrites terms.
+    """
+    if isinstance(expr, Var):
+        return bindings.get(expr.name, expr)
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, substitute(expr.operand, bindings))
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, substitute(expr.left, bindings), substitute(expr.right, bindings))
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def rename(expr: Expr, mapping: Mapping[str, str]) -> Expr:
+    """Rename variables in ``expr`` according to ``mapping``."""
+    return substitute(expr, {old: Var(new) for old, new in mapping.items()})
+
+
+# dataclasses are used for structural equality/hash; keep a defensive check
+# that none of the node types accidentally became mutable.
+for _cls in (Var, Const, UnaryOp, BinOp):
+    assert dataclasses.fields(_cls), _cls

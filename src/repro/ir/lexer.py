@@ -1,0 +1,125 @@
+"""Tokeniser for the textual flow-graph language.
+
+Two surface forms share one token stream (see ``repro.ir.parser``):
+
+* the **structured form** (assignments, ``if``/``while``/``out``), and
+* the **explicit graph form** (labelled blocks with successor lists),
+  which can express arbitrary — including irreducible — flow graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+__all__ = ["Token", "LexError", "tokenize"]
+
+
+class LexError(Exception):
+    """Raised on malformed input text."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} at line {line}, column {column}")
+        self.line = line
+        self.column = column
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position."""
+
+    kind: str  # 'ident' | 'number' | 'symbol' | 'eof'
+    text: str
+    line: int
+    column: int
+
+    def is_symbol(self, text: str) -> bool:
+        return self.kind == "symbol" and self.text == text
+
+    def is_ident(self, text: Optional[str] = None) -> bool:
+        if self.kind != "ident":
+            return False
+        return text is None or self.text == text
+
+    def __str__(self) -> str:
+        if self.kind == "eof":
+            return "end of input"
+        return repr(self.text)
+
+
+# Multi-character symbols must be listed before their prefixes.
+_SYMBOLS = (
+    ":=",
+    "->",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "!",
+    "(",
+    ")",
+    "{",
+    "}",
+    ";",
+    ",",
+    "?",
+    ":",
+)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenise ``text``, returning a token list terminated by an ``eof``
+    token.  Comments run from ``#`` to end of line."""
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    line = 1
+    column = 1
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char == "\n":
+            index += 1
+            line += 1
+            column = 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if char == "#":
+            while index < length and text[index] != "\n":
+                index += 1
+            continue
+        if char.isdigit():
+            start = index
+            while index < length and text[index].isdigit():
+                index += 1
+            yield Token("number", text[start:index], line, column)
+            column += index - start
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (text[index].isalnum() or text[index] == "_"):
+                index += 1
+            yield Token("ident", text[start:index], line, column)
+            column += index - start
+            continue
+        for symbol in _SYMBOLS:
+            if text.startswith(symbol, index):
+                yield Token("symbol", symbol, line, column)
+                index += len(symbol)
+                column += len(symbol)
+                break
+        else:
+            raise LexError(f"unexpected character {char!r}", line, column)
+    yield Token("eof", "", line, column)

@@ -1,0 +1,93 @@
+"""Natural loop detection.
+
+Used by the Section 7 'hot areas' strategy to pick regions
+automatically, and by tests to state loop-related properties ("nothing
+sinks into loops") structurally instead of path-wise.
+
+A **back edge** is an edge ``(u, h)`` whose target dominates its source;
+the **natural loop** of a back edge is ``h`` plus every node that can
+reach ``u`` without passing through ``h``.  Natural loops exist only for
+the reducible parts of a graph — irreducible cycles (Figure 5's
+``3 ⇄ 4``) have no back edge by this definition and are reported by
+:func:`irreducible_cycle_nodes` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Set, Tuple
+
+from .cfg import FlowGraph
+from .dominance import dominators
+
+__all__ = ["NaturalLoop", "back_edges", "natural_loops", "irreducible_cycle_nodes"]
+
+
+@dataclass(frozen=True)
+class NaturalLoop:
+    """One natural loop: its header and full body (header included)."""
+
+    header: str
+    body: FrozenSet[str]
+    back_edge: Tuple[str, str]
+
+    def __contains__(self, node: object) -> bool:
+        return node in self.body
+
+    def __len__(self) -> int:
+        return len(self.body)
+
+
+def back_edges(graph: FlowGraph) -> List[Tuple[str, str]]:
+    """All edges whose target dominates their source."""
+    dom = dominators(graph)
+    return [
+        (u, v)
+        for u, v in graph.edges()
+        if v in dom.get(u, frozenset())
+    ]
+
+
+def natural_loops(graph: FlowGraph) -> List[NaturalLoop]:
+    """The natural loop of every back edge, deterministic order."""
+    loops: List[NaturalLoop] = []
+    for u, header in sorted(back_edges(graph)):
+        body: Set[str] = {header, u}
+        # Never explore past the header (a self-loop's body is just it).
+        stack = [u] if u != header else []
+        while stack:
+            node = stack.pop()
+            for pred in graph.predecessors(node):
+                if pred not in body:
+                    body.add(pred)
+                    stack.append(pred)
+        loops.append(NaturalLoop(header=header, body=frozenset(body), back_edge=(u, header)))
+    return loops
+
+
+def irreducible_cycle_nodes(graph: FlowGraph) -> FrozenSet[str]:
+    """Nodes on cycles not covered by any natural loop.
+
+    Every node of every cycle either belongs to a natural loop body or
+    participates in an irreducible region; the difference is exactly the
+    set this function reports (empty for reducible graphs).
+    """
+    covered: Set[str] = set()
+    for loop in natural_loops(graph):
+        covered |= loop.body
+
+    on_cycle: Set[str] = set()
+    # A node is on a cycle iff it can reach itself.
+    for node in graph.nodes():
+        stack = list(graph.successors(node))
+        seen: Set[str] = set()
+        while stack:
+            current = stack.pop()
+            if current == node:
+                on_cycle.add(node)
+                break
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(graph.successors(current))
+    return frozenset(on_cycle - covered)

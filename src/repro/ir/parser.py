@@ -1,0 +1,424 @@
+"""Parser for the textual flow-graph language.
+
+Two surface forms are supported, distinguished by the leading keyword:
+
+**Structured form** (default) — a statement list with structured control
+flow, lowered to a flow graph::
+
+    globals g;
+    x := a + b;
+    if (x > 0) { out(x); } else { x := 0; }
+    while ? { y := y + 1; }      # '?' = nondeterministic branch
+    out(y);
+
+**Explicit graph form** — arbitrary (including irreducible) graphs::
+
+    graph
+    globals g;
+    block s -> 1
+    block 1 { y := a + b } -> 2, 3
+    block 2 {} -> 4
+    block 3 { y := 4 } -> 4
+    block 4 { out(y) } -> e
+    block e
+
+Block names may be identifiers or numbers (paper figures use numbers).
+``s`` and ``e`` are the start and end node unless overridden with
+``start NAME`` / ``end NAME`` directives right after ``graph``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .cfg import END, START, FlowGraph
+from .exprs import BinOp, Const, Expr, UnaryOp, Var
+from .lexer import LexError, Token, tokenize
+from .stmts import Assign, Branch, Out, Skip, Statement
+
+__all__ = ["ParseError", "parse_program", "parse_expr", "parse_statement"]
+
+
+class ParseError(Exception):
+    """Raised on syntactically invalid programs."""
+
+
+class _TokenStream:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self, ahead: int = 0) -> Token:
+        return self._tokens[min(self._pos + ahead, len(self._tokens) - 1)]
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def accept_symbol(self, text: str) -> bool:
+        if self.peek().is_symbol(text):
+            self.next()
+            return True
+        return False
+
+    def accept_ident(self, text: str) -> bool:
+        if self.peek().is_ident(text):
+            self.next()
+            return True
+        return False
+
+    def expect_symbol(self, text: str) -> Token:
+        token = self.next()
+        if not token.is_symbol(text):
+            raise ParseError(f"expected {text!r}, found {token} (line {token.line})")
+        return token
+
+    def expect_ident(self, text: Optional[str] = None) -> Token:
+        token = self.next()
+        if token.kind != "ident" or (text is not None and token.text != text):
+            wanted = repr(text) if text else "an identifier"
+            raise ParseError(f"expected {wanted}, found {token} (line {token.line})")
+        return token
+
+    def at_eof(self) -> bool:
+        return self.peek().kind == "eof"
+
+
+# ----------------------------------------------------------------------
+# Expressions (precedence climbing)
+# ----------------------------------------------------------------------
+
+_COMPARISONS = ("<", "<=", ">", ">=", "==", "!=")
+_ADDITIVE = ("+", "-")
+_MULTIPLICATIVE = ("*", "/", "%")
+
+# Words with special meaning that may not be used as variable names.
+_RESERVED = frozenset(
+    (
+        "if",
+        "else",
+        "while",
+        "out",
+        "skip",
+        "branch",
+        "graph",
+        "block",
+        "globals",
+        "start",
+        "end",
+    )
+)
+
+
+def _parse_expression(stream: _TokenStream) -> Expr:
+    left = _parse_additive(stream)
+    token = stream.peek()
+    if token.kind == "symbol" and token.text in _COMPARISONS:
+        stream.next()
+        right = _parse_additive(stream)
+        return BinOp(token.text, left, right)
+    return left
+
+
+def _parse_additive(stream: _TokenStream) -> Expr:
+    left = _parse_multiplicative(stream)
+    while True:
+        token = stream.peek()
+        if token.kind == "symbol" and token.text in _ADDITIVE:
+            stream.next()
+            left = BinOp(token.text, left, _parse_multiplicative(stream))
+        else:
+            return left
+
+
+def _parse_multiplicative(stream: _TokenStream) -> Expr:
+    left = _parse_unary(stream)
+    while True:
+        token = stream.peek()
+        if token.kind == "symbol" and token.text in _MULTIPLICATIVE:
+            stream.next()
+            left = BinOp(token.text, left, _parse_unary(stream))
+        else:
+            return left
+
+
+def _parse_unary(stream: _TokenStream) -> Expr:
+    token = stream.peek()
+    if token.is_symbol("-") or token.is_symbol("!"):
+        stream.next()
+        return UnaryOp(token.text, _parse_unary(stream))
+    return _parse_primary(stream)
+
+
+def _parse_primary(stream: _TokenStream) -> Expr:
+    token = stream.next()
+    if token.kind == "number":
+        return Const(int(token.text))
+    if token.kind == "ident":
+        if token.text in _RESERVED:
+            raise ParseError(
+                f"reserved word {token.text!r} used as a variable (line {token.line})"
+            )
+        return Var(token.text)
+    if token.is_symbol("("):
+        expr = _parse_expression(stream)
+        stream.expect_symbol(")")
+        return expr
+    raise ParseError(f"expected an expression, found {token} (line {token.line})")
+
+
+# ----------------------------------------------------------------------
+# Simple statements (shared between both surface forms)
+# ----------------------------------------------------------------------
+
+
+def _parse_simple_statement(stream: _TokenStream) -> Statement:
+    token = stream.peek()
+    if token.is_ident("out"):
+        stream.next()
+        stream.expect_symbol("(")
+        expr = _parse_expression(stream)
+        stream.expect_symbol(")")
+        return Out(expr)
+    if token.is_ident("skip"):
+        stream.next()
+        return Skip()
+    if token.is_ident("branch"):
+        # Only valid in the explicit graph form, where the block's edge list
+        # supplies the two targets (true target first).
+        stream.next()
+        return Branch(_parse_expression(stream))
+    if token.kind == "ident":
+        name = stream.expect_ident().text
+        if name in _RESERVED:
+            raise ParseError(f"reserved word {name!r} used as a variable (line {token.line})")
+        stream.expect_symbol(":=")
+        return Assign(name, _parse_expression(stream))
+    raise ParseError(f"expected a statement, found {token} (line {token.line})")
+
+
+# ----------------------------------------------------------------------
+# Structured form
+# ----------------------------------------------------------------------
+
+
+class _StructuredLowering:
+    """Lowers structured syntax to a flow graph.
+
+    Maintains a current block being filled; control-flow statements close
+    it and wire up fresh blocks.
+    """
+
+    def __init__(self, globals_: frozenset[str]) -> None:
+        self.graph = FlowGraph(START, END, globals_)
+        self._counter = 0
+        self._current = self._fresh()
+        self.graph.add_edge(START, self._current)
+
+    def _fresh(self) -> str:
+        self._counter += 1
+        name = f"b{self._counter}"
+        self.graph.add_block(name)
+        return name
+
+    def _append(self, stmt: Statement) -> None:
+        stmts = list(self.graph.statements(self._current))
+        stmts.append(stmt)
+        self.graph.set_statements(self._current, stmts)
+
+    def statement_list(self, stream: _TokenStream, *, top_level: bool) -> None:
+        while True:
+            token = stream.peek()
+            if token.kind == "eof":
+                if not top_level:
+                    raise ParseError("unexpected end of input inside a block")
+                return
+            if token.is_symbol("}"):
+                if top_level:
+                    raise ParseError(f"unmatched '}}' (line {token.line})")
+                return
+            self.statement(stream)
+
+    def statement(self, stream: _TokenStream) -> None:
+        token = stream.peek()
+        if token.is_ident("if"):
+            self._if_statement(stream)
+        elif token.is_ident("while"):
+            self._while_statement(stream)
+        else:
+            self._append(_parse_simple_statement(stream))
+            stream.expect_symbol(";")
+
+    def _condition(self, stream: _TokenStream) -> Optional[Expr]:
+        """Parse ``( expr )`` or the nondeterministic placeholder ``?``."""
+        if stream.accept_symbol("?"):
+            return None
+        stream.expect_symbol("(")
+        expr = _parse_expression(stream)
+        stream.expect_symbol(")")
+        return expr
+
+    def _braced_body(self, stream: _TokenStream) -> None:
+        stream.expect_symbol("{")
+        self.statement_list(stream, top_level=False)
+        stream.expect_symbol("}")
+
+    def _if_statement(self, stream: _TokenStream) -> None:
+        stream.expect_ident("if")
+        cond = self._condition(stream)
+        if cond is not None:
+            self._append(Branch(cond))
+        fork = self._current
+
+        then_entry = self._fresh()
+        self.graph.add_edge(fork, then_entry)
+        self._current = then_entry
+        self._braced_body(stream)
+        then_exit = self._current
+
+        else_exit: Optional[str] = None
+        else_entry: Optional[str] = None
+        if stream.accept_ident("else"):
+            else_entry = self._fresh()
+            self.graph.add_edge(fork, else_entry)
+            self._current = else_entry
+            self._braced_body(stream)
+            else_exit = self._current
+
+        join = self._fresh()
+        self.graph.add_edge(then_exit, join)
+        if else_exit is not None:
+            self.graph.add_edge(else_exit, join)
+        else:
+            self.graph.add_edge(fork, join)
+        self._current = join
+
+    def _while_statement(self, stream: _TokenStream) -> None:
+        stream.expect_ident("while")
+        cond = self._condition(stream)
+        header = self._fresh()
+        self.graph.add_edge(self._current, header)
+        if cond is not None:
+            self.graph.set_statements(header, [Branch(cond)])
+
+        body_entry = self._fresh()
+        self.graph.add_edge(header, body_entry)
+        self._current = body_entry
+        self._braced_body(stream)
+        self.graph.add_edge(self._current, header)
+
+        exit_block = self._fresh()
+        self.graph.add_edge(header, exit_block)
+        self._current = exit_block
+
+    def finish(self) -> FlowGraph:
+        self.graph.add_edge(self._current, END)
+        return self.graph
+
+
+# ----------------------------------------------------------------------
+# Explicit graph form
+# ----------------------------------------------------------------------
+
+
+def _parse_graph_form(stream: _TokenStream, globals_: frozenset[str]) -> FlowGraph:
+    start = START
+    end = END
+    while True:
+        if stream.accept_ident("start"):
+            start = _block_name(stream)
+            continue
+        if stream.accept_ident("end"):
+            end = _block_name(stream)
+            continue
+        break
+    if not globals_:
+        globals_ = _parse_globals(stream)
+    graph = FlowGraph(start, end, globals_)
+
+    pending_edges: List[tuple[str, str]] = []
+    while not stream.at_eof():
+        stream.expect_ident("block")
+        name = _block_name(stream)
+        if name not in (start, end):
+            graph.add_block(name)
+        statements: List[Statement] = []
+        if stream.accept_symbol("{"):
+            while not stream.peek().is_symbol("}"):
+                statements.append(_parse_simple_statement(stream))
+                if not stream.accept_symbol(";"):
+                    break
+            stream.expect_symbol("}")
+        graph.set_statements(name, statements)
+        if stream.accept_symbol("->"):
+            pending_edges.append((name, _block_name(stream)))
+            while stream.accept_symbol(","):
+                pending_edges.append((name, _block_name(stream)))
+
+    for src, dst in pending_edges:
+        if not graph.has_block(dst):
+            raise ParseError(f"edge to undeclared block {dst!r}")
+        graph.add_edge(src, dst)
+    return graph
+
+
+def _block_name(stream: _TokenStream) -> str:
+    token = stream.next()
+    if token.kind in ("ident", "number"):
+        return token.text
+    raise ParseError(f"expected a block name, found {token} (line {token.line})")
+
+
+def _parse_globals(stream: _TokenStream) -> frozenset[str]:
+    if not stream.accept_ident("globals"):
+        return frozenset()
+    names = [stream.expect_ident().text]
+    while stream.accept_symbol(","):
+        names.append(stream.expect_ident().text)
+    stream.expect_symbol(";")
+    return frozenset(names)
+
+
+# ----------------------------------------------------------------------
+# Public entry points
+# ----------------------------------------------------------------------
+
+
+def parse_program(text: str) -> FlowGraph:
+    """Parse ``text`` (structured or explicit graph form) to a flow graph.
+
+    The returned graph is *not* edge-split; run
+    :func:`repro.ir.splitting.split_critical_edges` (the optimiser driver
+    does this automatically).
+    """
+    try:
+        stream = _TokenStream(tokenize(text))
+    except LexError as error:
+        raise ParseError(str(error)) from error
+    if stream.accept_ident("graph"):
+        return _parse_graph_form(stream, frozenset())
+    globals_ = _parse_globals(stream)
+    lowering = _StructuredLowering(globals_)
+    lowering.statement_list(stream, top_level=True)
+    return lowering.finish()
+
+
+def parse_expr(text: str) -> Expr:
+    """Parse a single expression (convenience for tests and builders)."""
+    stream = _TokenStream(tokenize(text))
+    expr = _parse_expression(stream)
+    if not stream.at_eof():
+        raise ParseError(f"trailing input after expression: {stream.peek()}")
+    return expr
+
+
+def parse_statement(text: str) -> Statement:
+    """Parse a single simple statement (no control flow)."""
+    stream = _TokenStream(tokenize(text))
+    stmt = _parse_simple_statement(stream)
+    stream.accept_symbol(";")
+    if not stream.at_eof():
+        raise ParseError(f"trailing input after statement: {stream.peek()}")
+    return stmt

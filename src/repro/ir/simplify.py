@@ -1,0 +1,99 @@
+"""Post-optimisation tidying.
+
+The paper's transformations never remove ``skip`` statements or the
+empty blocks that splitting and draining leave behind — Definition 3.6
+compares programs over a *fixed* branching structure, so the core
+algorithm must not touch it.  For human consumption (and for a real
+backend) the clutter can go afterwards:
+
+* :func:`remove_skips` — drop ``skip`` statements (the start/end nodes
+  conceptually *are* skips; any other is noise);
+* :func:`merge_chains` — fuse ``u → v`` when ``u`` is ``v``'s only
+  predecessor and ``v`` is ``u``'s only successor (neither being ``s``
+  or ``e``), concatenating their statements;
+* :func:`tidy` — both, to a fixpoint.
+
+These utilities *change the branching structure*; they are deliberately
+not part of ``pde``/``pfe`` and the optimality checker refuses graphs
+that went through them (different shape).  Semantics is preserved — the
+tests replay the interpreter over tidied programs.
+"""
+
+from __future__ import annotations
+
+from .cfg import FlowGraph
+from .stmts import Skip
+
+__all__ = ["remove_skips", "merge_chains", "tidy"]
+
+
+def remove_skips(graph: FlowGraph) -> bool:
+    """Drop all ``skip`` statements; returns whether anything changed."""
+    changed = False
+    for node in graph.nodes():
+        statements = list(graph.statements(node))
+        kept = [stmt for stmt in statements if not isinstance(stmt, Skip)]
+        if len(kept) != len(statements):
+            graph.set_statements(node, kept)
+            changed = True
+    return changed
+
+
+def merge_chains(graph: FlowGraph) -> bool:
+    """Fuse straight-line block pairs; returns whether anything changed.
+
+    ``u → v`` merges when the edge is ``u``'s only out-edge and ``v``'s
+    only in-edge, and neither endpoint is the start or end node.  ``v``'s
+    statements are appended to ``u`` and ``v``'s successors re-attach to
+    ``u``.  One merge per call site; the loop in :func:`tidy` reaches the
+    fixpoint.
+    """
+    changed = False
+    merged = True
+    while merged:
+        merged = False
+        for u in graph.nodes():
+            if u in (graph.start, graph.end):
+                continue
+            successors = graph.successors(u)
+            if len(successors) != 1:
+                continue
+            v = successors[0]
+            if v in (graph.start, graph.end) or v == u:
+                continue
+            if len(graph.predecessors(v)) != 1:
+                continue
+            # Fuse: u absorbs v.
+            graph.set_statements(
+                u, list(graph.statements(u)) + list(graph.statements(v))
+            )
+            graph.remove_edge(u, v)
+            for w in list(graph.successors(v)):
+                graph.remove_edge(v, w)
+                graph.add_edge(u, w)
+            _delete_block(graph, v)
+            changed = merged = True
+            break
+    return changed
+
+
+def _delete_block(graph: FlowGraph, name: str) -> None:
+    """Remove an isolated block from the graph's internal tables."""
+    # FlowGraph intentionally exposes no deletion in its public API (the
+    # paper's transformations never need one); tidying is the single
+    # sanctioned exception.
+    assert not graph.successors(name) and not graph.predecessors(name)
+    del graph._blocks[name]  # noqa: SLF001 — see comment above
+    del graph._succ[name]
+    del graph._pred[name]
+
+
+def tidy(graph: FlowGraph) -> FlowGraph:
+    """A tidied copy: skips removed, straight chains merged, repeated to
+    a fixpoint."""
+    result = graph.copy()
+    changed = True
+    while changed:
+        changed = remove_skips(result)
+        changed |= merge_chains(result)
+    return result

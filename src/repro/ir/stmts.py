@@ -1,0 +1,193 @@
+"""Statements of the flow-graph language.
+
+The paper (Section 2) classifies statements into three groups:
+
+* **assignment statements** ``v := t``,
+* the **empty statement** ``skip``, and
+* **relevant statements**, which force all their operands to be alive;
+  in the paper these are explicit output operations ``out(t)``.
+
+Footnote 2 adds that, in practice, conditions of if-statements must be
+considered relevant as well; we model them as a dedicated ``Branch``
+statement that is relevant (its operands are forced alive) and that the
+interpreter uses to resolve two-way branches deterministically when a
+condition is present.  Analyses treat branching nondeterministically
+either way, exactly as in the paper.
+
+Each statement carries the local-predicate accessors the dataflow
+analyses of Tables 1 and 2 need:
+
+* ``used()``        — right-hand side variables (``USED`` in Table 1),
+* ``relevant_used()`` — rhs variables of relevant statements (``RELV-USED``),
+* ``assign_used()`` — rhs variables of assignment statements (``ASS-USED``),
+* ``modified()``    — the defined variable, if any (``MOD``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from .exprs import Expr, Var
+
+__all__ = ["Statement", "Assign", "Out", "Skip", "Branch", "lhs_of"]
+
+_EMPTY: frozenset[str] = frozenset()
+
+
+@dataclass(frozen=True)
+class Assign:
+    """An assignment statement ``lhs := rhs``.
+
+    Two occurrences of the same *assignment pattern* (Section 2: a string
+    of the form ``x := t``) compare equal; occurrences are distinguished
+    positionally by their (block, index) location in the flow graph.
+    """
+
+    lhs: str
+    rhs: Expr
+
+    def used(self) -> frozenset[str]:
+        return self.rhs.variables()
+
+    def relevant_used(self) -> frozenset[str]:
+        return _EMPTY
+
+    def assign_used(self) -> frozenset[str]:
+        return self.rhs.variables()
+
+    def modified(self) -> Optional[str]:
+        return self.lhs
+
+    def is_relevant(self) -> bool:
+        return False
+
+    def pattern(self) -> str:
+        """The assignment pattern string ``x := t`` this is an occurrence of."""
+        return f"{self.lhs} := {self.rhs}"
+
+    def __str__(self) -> str:
+        return self.pattern()
+
+
+@dataclass(frozen=True)
+class Out:
+    """A relevant statement ``out(t)``: forces the operands of ``t`` alive."""
+
+    expr: Expr
+
+    def used(self) -> frozenset[str]:
+        return self.expr.variables()
+
+    def relevant_used(self) -> frozenset[str]:
+        return self.expr.variables()
+
+    def assign_used(self) -> frozenset[str]:
+        return _EMPTY
+
+    def modified(self) -> Optional[str]:
+        return None
+
+    def is_relevant(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"out({self.expr})"
+
+
+@dataclass(frozen=True)
+class Skip:
+    """The empty statement ``skip``."""
+
+    def used(self) -> frozenset[str]:
+        return _EMPTY
+
+    def relevant_used(self) -> frozenset[str]:
+        return _EMPTY
+
+    def assign_used(self) -> frozenset[str]:
+        return _EMPTY
+
+    def modified(self) -> Optional[str]:
+        return None
+
+    def is_relevant(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return "skip"
+
+
+@dataclass(frozen=True)
+class Branch:
+    """A relevant branch condition terminating a two-way block.
+
+    ``Branch(c)`` transfers control to the block's first successor when
+    ``c`` evaluates to non-zero and to the second otherwise.  Per paper
+    footnote 2 it is a *relevant* statement: its operands are forced
+    alive, and no assignment may sink past it.
+    """
+
+    cond: Expr
+
+    def used(self) -> frozenset[str]:
+        return self.cond.variables()
+
+    def relevant_used(self) -> frozenset[str]:
+        return self.cond.variables()
+
+    def assign_used(self) -> frozenset[str]:
+        return _EMPTY
+
+    def modified(self) -> Optional[str]:
+        return None
+
+    def is_relevant(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"branch {self.cond}"
+
+
+Statement = Union[Assign, Out, Skip, Branch]
+
+
+def lhs_of(stmt: Statement) -> Optional[str]:
+    """The paper's ``lhs_ι``: the left-hand side variable of ``ι``, if any."""
+    return stmt.modified()
+
+
+def blocks_pattern(stmt: Statement, lhs: str, rhs_vars: frozenset[str]) -> bool:
+    """Does ``stmt`` block the sinking of the pattern ``lhs := t``?
+
+    Per Definition 3.1 discussion, the sinking of ``x := t`` is blocked by
+    any instruction that (i) modifies an operand of ``t``, (ii) uses ``x``,
+    or (iii) modifies ``x``.  ``rhs_vars`` is ``Vars(t)``.
+    """
+    modified = stmt.modified()
+    if modified is not None and (modified in rhs_vars or modified == lhs):
+        return True
+    return lhs in stmt.used()
+
+
+def is_statement(value: object) -> bool:
+    """Return True when ``value`` is one of the statement node types."""
+    return isinstance(value, (Assign, Out, Skip, Branch))
+
+
+def pattern_of(stmt: Statement) -> Optional[str]:
+    """The assignment pattern of ``stmt``, or None for non-assignments."""
+    if isinstance(stmt, Assign):
+        return stmt.pattern()
+    return None
+
+
+def make_assign(lhs: str, rhs: Union[Expr, str, int]) -> Assign:
+    """Convenience constructor accepting bare variable names / integers."""
+    if isinstance(rhs, str):
+        rhs = Var(rhs)
+    elif isinstance(rhs, int):
+        from .exprs import Const
+
+        rhs = Const(rhs)
+    return Assign(lhs, rhs)

@@ -1,0 +1,99 @@
+"""Structural validation of flow graphs.
+
+Checks the well-formedness assumptions of paper Section 2:
+
+* the start node has no predecessors and the end node no successors,
+* every node lies on a path from ``s`` to ``e``,
+* two-way blocks carry their :class:`~repro.ir.stmts.Branch` (if any)
+  as the *last* statement, and branches appear only on two-way blocks,
+* optionally (``strict``): ``s`` and ``e`` represent ``skip`` — true of
+  all *input* programs; transformed programs may carry sunk assignments
+  at the entry of ``e``,
+* optionally (``require_split``): no critical edges remain.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .cfg import FlowGraph
+from .splitting import critical_edges
+from .stmts import Branch
+
+__all__ = ["ValidationError", "validate", "check"]
+
+
+class ValidationError(Exception):
+    """Raised when a flow graph violates the well-formedness assumptions."""
+
+
+def check(
+    graph: FlowGraph,
+    strict: bool = False,
+    require_split: bool = False,
+) -> List[str]:
+    """Return a list of problems (empty when the graph is well-formed)."""
+    problems: List[str] = []
+    if not graph.has_block(graph.start):
+        problems.append(f"missing start node {graph.start!r}")
+        return problems
+    if not graph.has_block(graph.end):
+        problems.append(f"missing end node {graph.end!r}")
+        return problems
+    if graph.predecessors(graph.start):
+        problems.append("start node has predecessors")
+    if graph.successors(graph.end):
+        problems.append("end node has successors")
+
+    reachable = _closure(graph, graph.start, forward=True)
+    coreachable = _closure(graph, graph.end, forward=False)
+    for name in graph.nodes():
+        if name not in reachable:
+            problems.append(f"block {name!r} unreachable from start")
+        elif name not in coreachable:
+            problems.append(f"block {name!r} cannot reach the end node")
+
+    for name in graph.nodes():
+        statements = graph.statements(name)
+        for index, stmt in enumerate(statements):
+            if isinstance(stmt, Branch):
+                if index != len(statements) - 1:
+                    problems.append(f"block {name!r}: branch is not the last statement")
+                elif len(graph.successors(name)) != 2:
+                    problems.append(
+                        f"block {name!r}: branch on a block with "
+                        f"{len(graph.successors(name))} successors"
+                    )
+
+    if strict:
+        for name in (graph.start, graph.end):
+            if graph.statements(name):
+                problems.append(f"block {name!r} must represent the empty statement")
+    if require_split:
+        for src, dst in critical_edges(graph):
+            problems.append(f"critical edge ({src!r}, {dst!r}) has not been split")
+    return problems
+
+
+def validate(
+    graph: FlowGraph,
+    strict: bool = False,
+    require_split: bool = False,
+) -> None:
+    """Raise :class:`ValidationError` when ``graph`` is ill-formed."""
+    problems = check(graph, strict=strict, require_split=require_split)
+    if problems:
+        raise ValidationError("; ".join(problems))
+
+
+def _closure(graph: FlowGraph, origin: str, forward: bool) -> frozenset[str]:
+    neighbours = graph.successors if forward else graph.predecessors
+    seen = {origin}
+    stack = [origin]
+    while stack:
+        node = stack.pop()
+        for nxt in neighbours(node):
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return frozenset(seen)

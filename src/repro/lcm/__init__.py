@@ -1,0 +1,13 @@
+"""Lazy code motion — partial redundancy elimination, the dual of PDE."""
+
+from .analyses import ExpressionUniverse, LCMAnalyses, analyze_lcm
+from .transform import LCMResult, expression_computation_count, lazy_code_motion
+
+__all__ = [
+    "ExpressionUniverse",
+    "LCMAnalyses",
+    "analyze_lcm",
+    "LCMResult",
+    "expression_computation_count",
+    "lazy_code_motion",
+]

@@ -1,0 +1,219 @@
+"""Lazy code motion analyses ([22, 23]; edge-placement formulation).
+
+Partial dead code elimination is "essentially dual to partial redundancy
+elimination … where computations are moved against the control flow as
+far as possible" (paper Section 1), and its delayability analysis is
+adapted from LCM's.  We implement LCM both as a worthwhile extension in
+its own right and to reproduce the related-work claim about Briggs' and
+Cooper's sinking: an assignment naively sunk *into* a loop cannot be
+hoisted back out by a subsequent partial redundancy elimination, because
+hoisting past the loop exit would not be down-safe.
+
+The formulation is the edge-based one of Drechsler/Stadel [12] (a
+variation of Knoop/Rüthing/Steffen's LCM), over the universe of
+non-trivial right-hand side expressions:
+
+* ``ANTIN/ANTOUT`` — down-safety (anticipability), backward, all-paths;
+* ``AVIN/AVOUT``  — availability, forward, all-paths;
+* ``earliest(i,j) = ANTIN_j · ¬AVOUT_i · (¬TRANSP_i + ¬ANTOUT_i)``;
+* ``later`` / ``LATERIN`` — delaying insertions as far as possible
+  (the analysis the paper's Table 2 adapts);
+* ``INSERT(i,j) = later(i,j) · ¬LATERIN_j``;
+* ``DELETE(k) = ANTLOC_k · ¬LATERIN_k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..ir.cfg import FlowGraph
+from ..ir.exprs import BinOp, Expr, UnaryOp
+from ..ir.stmts import Assign
+from ..dataflow.bitvec import Universe
+from ..dataflow.framework import BACKWARD, FORWARD, Analysis, solve
+
+__all__ = ["ExpressionUniverse", "LCMAnalyses", "analyze_lcm"]
+
+Edge = Tuple[str, str]
+
+
+class ExpressionUniverse:
+    """The candidate expressions of a program: non-trivial assignment rhs."""
+
+    def __init__(self, graph: FlowGraph) -> None:
+        expressions: Dict[str, Expr] = {}
+        for _node, _index, stmt in graph.assignments():
+            if isinstance(stmt.rhs, (BinOp, UnaryOp)):
+                expressions.setdefault(str(stmt.rhs), stmt.rhs)
+        self._expressions = {key: expressions[key] for key in sorted(expressions)}
+        self.universe = Universe(self._expressions)
+
+    def __len__(self) -> int:
+        return len(self._expressions)
+
+    def __iter__(self):
+        return iter(self._expressions.items())
+
+    def expr(self, key: str) -> Expr:
+        return self._expressions[key]
+
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(self._expressions)
+
+
+def _local_predicates(
+    graph: FlowGraph, expressions: ExpressionUniverse, node: str
+) -> Tuple[int, int, int]:
+    """``(ANTLOC_n, COMP_n, TRANSP_n)`` for block ``node``.
+
+    * ``ANTLOC`` — computed in ``n`` before any operand modification;
+    * ``COMP``   — computed in ``n`` with no operand modification after
+      the last computation (locally available at exit);
+    * ``TRANSP`` — no statement of ``n`` modifies an operand.
+    """
+    universe = expressions.universe
+    antloc = 0
+    comp = 0
+    transp = universe.full
+    killed_so_far = 0  # expressions with an operand modified so far
+    for stmt in graph.statements(node):
+        if isinstance(stmt, Assign) and isinstance(stmt.rhs, (BinOp, UnaryOp)):
+            bit = universe.bit(str(stmt.rhs))
+            if not killed_so_far & bit:
+                antloc |= bit
+            comp |= bit
+        modified = stmt.modified()
+        if modified is not None:
+            killed = 0
+            for key, expr in expressions:
+                if modified in expr.variables():
+                    killed |= universe.bit(key)
+            killed_so_far |= killed
+            transp &= ~killed
+            comp &= ~killed
+    return antloc, comp, transp
+
+
+class _Anticipability(Analysis):
+    direction = BACKWARD
+
+    def __init__(self, graph, universe, locals_):
+        super().__init__(graph, universe)
+        self._locals = locals_
+
+    def boundary(self) -> int:
+        return 0  # nothing is anticipated past e
+
+    def transfer(self, node: str, ant_out: int) -> int:
+        antloc, _comp, transp = self._locals[node]
+        return antloc | (ant_out & transp)
+
+
+class _Availability(Analysis):
+    direction = FORWARD
+
+    def __init__(self, graph, universe, locals_):
+        super().__init__(graph, universe)
+        self._locals = locals_
+
+    def boundary(self) -> int:
+        return 0  # nothing is available before s
+
+    def transfer(self, node: str, av_in: int) -> int:
+        _antloc, comp, transp = self._locals[node]
+        return comp | (av_in & transp)
+
+
+@dataclass
+class LCMAnalyses:
+    """All solved LCM predicates for one program."""
+
+    graph: FlowGraph
+    expressions: ExpressionUniverse
+    locals: Dict[str, Tuple[int, int, int]]  # (ANTLOC, COMP, TRANSP)
+    ant_in: Dict[str, int]
+    ant_out: Dict[str, int]
+    av_in: Dict[str, int]
+    av_out: Dict[str, int]
+    later_in: Dict[str, int]
+    later: Dict[Edge, int]
+
+    def earliest(self, edge: Edge) -> int:
+        i, j = edge
+        _antloc_i, _comp_i, transp_i = self.locals[i]
+        full = self.expressions.universe.full
+        value = self.ant_in[j] & ~self.av_out[i]
+        if i != self.graph.start:
+            # No placement can move above s, so the "cannot move earlier"
+            # factor is dropped on entry edges.
+            value &= (full & ~transp_i) | (full & ~self.ant_out[i])
+        return value
+
+    def insert(self, edge: Edge) -> int:
+        _i, j = edge
+        return self.later[edge] & ~self.later_in[j] & self.expressions.universe.full
+
+    def delete(self, node: str) -> int:
+        if node == self.graph.start:
+            return 0
+        antloc, _comp, _transp = self.locals[node]
+        return antloc & ~self.later_in[node]
+
+
+def analyze_lcm(graph: FlowGraph) -> LCMAnalyses:
+    """Run the four LCM analyses over ``graph`` (must be edge-split)."""
+    expressions = ExpressionUniverse(graph)
+    universe = expressions.universe
+    locals_ = {node: _local_predicates(graph, expressions, node) for node in graph.nodes()}
+
+    ant = solve(_Anticipability(graph, universe, locals_))
+    av = solve(_Availability(graph, universe, locals_))
+
+    analyses = LCMAnalyses(
+        graph=graph,
+        expressions=expressions,
+        locals=locals_,
+        ant_in=ant.entry,
+        ant_out=ant.exit,
+        av_in=av.entry,
+        av_out=av.exit,
+        later_in={},
+        later={},
+    )
+
+    # Later / LaterIn: a forward all-paths system over edges.
+    full = universe.full
+    later_in: Dict[str, int] = {node: full for node in graph.nodes()}
+    later_in[graph.start] = 0
+    later: Dict[Edge, int] = {}
+    for edge in graph.edges():
+        later[edge] = full
+
+    changed = True
+    while changed:
+        changed = False
+        for node in graph.nodes():
+            antloc_i, _comp, _transp = locals_[node]
+            for successor in graph.successors(node):
+                edge = (node, successor)
+                value = analyses.earliest(edge) | (later_in[node] & ~antloc_i)
+                if value != later[edge]:
+                    later[edge] = value
+                    changed = True
+        for node in graph.nodes():
+            if node == graph.start:
+                continue
+            preds = graph.predecessors(node)
+            if not preds:
+                continue
+            value = full
+            for pred in preds:
+                value &= later[(pred, node)]
+            if value != later_in[node]:
+                later_in[node] = value
+                changed = True
+
+    analyses.later_in = later_in
+    analyses.later = later
+    return analyses

@@ -1,0 +1,155 @@
+"""The lazy code motion transformation.
+
+Given the solved :class:`~repro.lcm.analyses.LCMAnalyses`, insert
+``h := t`` on every edge with ``INSERT`` and rewrite the first (locally
+anticipable) computation ``x := t`` of every block with ``DELETE`` into
+``x := h`` — eliminating partial redundancies while keeping temporary
+lifetimes minimal.
+
+Edge insertions require the graph to be critical-edge-free: an insertion
+on ``(i, j)`` lands at the end of ``i`` when ``i`` has one successor,
+else at the beginning of ``j`` (which then has one predecessor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..ir.cfg import FlowGraph
+from ..ir.exprs import Var
+from ..ir.splitting import split_critical_edges
+from ..ir.stmts import Assign
+from .analyses import LCMAnalyses, analyze_lcm
+
+__all__ = ["LCMResult", "lazy_code_motion"]
+
+
+@dataclass
+class LCMResult:
+    """Outcome of one LCM run."""
+
+    original: FlowGraph
+    graph: FlowGraph
+    analyses: LCMAnalyses
+    #: temp name per rewritten expression key.
+    temporaries: Dict[str, str] = field(default_factory=dict)
+    #: ``(edge, expression)`` insertions performed.
+    insertions: List[Tuple[Tuple[str, str], str]] = field(default_factory=list)
+    #: ``(block, index, expression)`` computations rewritten to the temp.
+    rewrites: List[Tuple[str, int, str]] = field(default_factory=list)
+
+
+def _fresh_temp(taken: set, index: int) -> str:
+    name = f"h{index}"
+    while name in taken:
+        name = f"{name}_"
+    taken.add(name)
+    return name
+
+
+def lazy_code_motion(graph: FlowGraph, split_edges: bool = True) -> LCMResult:
+    """Run lazy code motion on ``graph`` and return the transformed copy."""
+    original = split_critical_edges(graph) if split_edges else graph.copy()
+    work = original.copy()
+    analyses = analyze_lcm(work)
+    universe = analyses.expressions.universe
+
+    taken = set(work.variables())
+    temporaries: Dict[str, str] = {}
+
+    def temp_for(key: str) -> str:
+        if key not in temporaries:
+            temporaries[key] = _fresh_temp(taken, universe.index(key))
+        return temporaries[key]
+
+    # A coarse rendering of the LCM papers' "isolated" treatment: only
+    # expressions that actually participate in the motion — some INSERT
+    # on an edge or some DELETE in a block — get a temporary; everything
+    # else keeps its original form untouched.
+    active = 0
+    for edge in work.edges():
+        active |= analyses.insert(edge)
+    for node in work.nodes():
+        active |= analyses.delete(node)
+
+    result = LCMResult(
+        original=original, graph=work, analyses=analyses, temporaries=temporaries
+    )
+
+    # Collect edge insertions first (analyses refer to the pre-image).
+    pending_front: Dict[str, List[Assign]] = {}
+    pending_back: Dict[str, List[Assign]] = {}
+    for edge in work.edges():
+        vector = analyses.insert(edge)
+        if not vector:
+            continue
+        i, j = edge
+        for key in universe.members(vector):
+            stmt = Assign(temp_for(key), analyses.expressions.expr(key))
+            if len(work.successors(i)) == 1:
+                pending_back.setdefault(i, []).append(stmt)
+            elif len(work.predecessors(j)) == 1:
+                pending_front.setdefault(j, []).append(stmt)
+            else:
+                raise AssertionError(
+                    f"insertion on critical edge ({i!r}, {j!r}) — split first"
+                )
+            result.insertions.append((edge, key))
+
+    # Rewrite computations.  A deleted occurrence (the first locally
+    # anticipable one of a DELETE block) becomes a read of the temp:
+    # ``x := h``.  Every other occurrence is split into ``h := t; x := h``
+    # so the temp is defined wherever the original computed the value —
+    # downstream deleted occurrences may rely on it via availability.
+    for node in work.nodes():
+        statements = list(work.statements(node))
+        if not any(
+            isinstance(stmt, Assign)
+            and str(stmt.rhs) in universe
+            and active & universe.bit(str(stmt.rhs))
+            for stmt in statements
+        ):
+            continue
+        deletable = analyses.delete(node)
+        rewritten: List[Assign] = []
+        for index, stmt in enumerate(statements):
+            if (
+                isinstance(stmt, Assign)
+                and str(stmt.rhs) in universe
+                and active & universe.bit(str(stmt.rhs))
+            ):
+                key = str(stmt.rhs)
+                temp = temp_for(key)
+                if deletable & universe.bit(key):
+                    rewritten.append(Assign(stmt.lhs, Var(temp)))
+                    result.rewrites.append((node, index, key))
+                    deletable &= ~universe.bit(key)
+                else:
+                    rewritten.append(Assign(temp, stmt.rhs))
+                    rewritten.append(Assign(stmt.lhs, Var(temp)))
+            else:
+                rewritten.append(stmt)
+            modified = stmt.modified()
+            if modified is not None:
+                # Occurrences after an operand modification are not the
+                # locally anticipated ones; they may not be deleted.
+                for key in universe.members(deletable):
+                    if modified in analyses.expressions.expr(key).variables():
+                        deletable &= ~universe.bit(key)
+        work.set_statements(node, rewritten)
+
+    for node, stmts in pending_front.items():
+        work.set_statements(node, stmts + list(work.statements(node)))
+    for node, stmts in pending_back.items():
+        work.set_statements(node, list(work.statements(node)) + stmts)
+    return result
+
+
+def expression_computation_count(graph: FlowGraph, key: str) -> int:
+    """Static occurrence count of expression ``key`` as an assignment rhs."""
+    count = 0
+    for _node, _index, stmt in graph.assignments():
+        if str(stmt.rhs) == key:
+            count += 1
+    return count

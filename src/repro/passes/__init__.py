@@ -1,0 +1,26 @@
+"""Auxiliary transformations and heuristic strategies.
+
+* :mod:`repro.passes.copyprop` — copy propagation (footnote 1 substrate),
+* :mod:`repro.passes.hoisting` — Dhamdhere-style assignment hoisting [9],
+* :mod:`repro.passes.strategies` — the Section 7 heuristics (budgeted
+  and region-localised PDE).
+"""
+
+from .copyprop import CopyPropagationReport, copy_propagation
+from .hoisting import HoistingReport, assignment_hoisting, hoist_then_eliminate
+from .strategies import budgeted_pde, loop_regions, region_closure, regional_pde
+from .value_numbering import ValueNumberingReport, value_numbering
+
+__all__ = [
+    "CopyPropagationReport",
+    "copy_propagation",
+    "HoistingReport",
+    "assignment_hoisting",
+    "hoist_then_eliminate",
+    "budgeted_pde",
+    "loop_regions",
+    "region_closure",
+    "regional_pde",
+    "ValueNumberingReport",
+    "value_numbering",
+]

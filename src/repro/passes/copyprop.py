@@ -1,0 +1,137 @@
+"""Copy propagation.
+
+Substrate for the footnote 1 comparison: the paper notes that "even
+interleaving code motion and copy propagation as suggested in [10] only
+succeeds in removing the right hand side computations from the loop,
+but the assignment … would remain in it."  To check that claim we need
+an actual copy propagator to interleave with lazy code motion.
+
+Classic formulation: a copy ``x := y`` is *available* at a point when it
+was executed on every path from ``s`` and neither ``x`` nor ``y`` was
+redefined since (forward, all-paths bit-vector over copy patterns).
+Uses of ``x`` under an available copy are rewritten to ``y``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..ir.cfg import FlowGraph
+from ..ir.exprs import Expr, Var, substitute
+from ..ir.stmts import Assign, Branch, Out, Statement
+from ..dataflow.bitvec import Universe
+from ..dataflow.framework import FORWARD, Analysis, solve
+
+__all__ = ["CopyPropagationReport", "copy_propagation"]
+
+
+def _copies_in(graph: FlowGraph) -> Dict[str, Tuple[str, str]]:
+    """All copy patterns ``x := y`` in the program, keyed by pattern."""
+    copies: Dict[str, Tuple[str, str]] = {}
+    for _node, _index, stmt in graph.assignments():
+        if isinstance(stmt.rhs, Var):
+            copies[stmt.pattern()] = (stmt.lhs, stmt.rhs.name)
+    return dict(sorted(copies.items()))
+
+
+class _AvailableCopies(Analysis):
+    direction = FORWARD
+
+    def __init__(self, graph, universe, copies):
+        super().__init__(graph, universe)
+        self._copies = copies
+
+    def boundary(self) -> int:
+        return 0  # nothing available before s
+
+    def transfer(self, node: str, value: int) -> int:
+        for stmt in self.graph.statements(node):
+            value = _statement_transfer(self.universe, self._copies, stmt, value)
+        return value
+
+
+def _statement_transfer(
+    universe: Universe,
+    copies: Dict[str, Tuple[str, str]],
+    stmt: Statement,
+    value: int,
+) -> int:
+    modified = stmt.modified()
+    if modified is not None:
+        for pattern, (lhs, rhs) in copies.items():
+            if modified in (lhs, rhs):
+                value &= ~universe.bit(pattern)
+    if isinstance(stmt, Assign) and isinstance(stmt.rhs, Var):
+        # Rewrites may create copies unknown to this pass's universe
+        # (e.g. ``x := h`` becoming ``x := h2``); they are picked up by
+        # the next pass — only the kill side matters for them here.
+        if stmt.pattern() in universe:
+            value |= universe.bit(stmt.pattern())
+    return value
+
+
+@dataclass
+class CopyPropagationReport:
+    """What one propagation pass rewrote."""
+
+    #: ``(block, index)`` statements whose uses were rewritten.
+    rewritten: List[Tuple[str, int]]
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.rewritten)
+
+
+def copy_propagation(graph: FlowGraph) -> CopyPropagationReport:
+    """One global copy-propagation pass (mutates ``graph``)."""
+    copies = _copies_in(graph)
+    report = CopyPropagationReport(rewritten=[])
+    if not copies:
+        return report
+    universe = Universe(copies)
+    result = solve(_AvailableCopies(graph, universe, copies))
+
+    for node in graph.nodes():
+        value = result.entry[node]
+        statements = list(graph.statements(node))
+        changed = False
+        for index, stmt in enumerate(statements):
+            # Substitution map from the copies available *before* stmt.
+            bindings: Dict[str, Expr] = {}
+            for pattern in universe.members(value):
+                lhs, rhs = copies[pattern]
+                bindings[lhs] = Var(rhs)
+            replaced = _rewrite_uses(stmt, bindings)
+            if replaced is not None:
+                statements[index] = replaced
+                report.rewritten.append((node, index))
+                changed = True
+                stmt = replaced
+            value = _statement_transfer(universe, copies, stmt, value)
+        if changed:
+            graph.set_statements(node, statements)
+    return report
+
+
+def _rewrite_uses(stmt: Statement, bindings: Dict[str, Expr]):
+    """``stmt`` with uses substituted, or None when nothing applies.
+
+    Chains (``x := y`` with ``y := z`` available) resolve one link per
+    pass; callers iterate to a fixpoint.
+    """
+    if not bindings:
+        return None
+    if isinstance(stmt, Assign):
+        new_rhs = substitute(stmt.rhs, bindings)
+        if new_rhs != stmt.rhs:
+            return Assign(stmt.lhs, new_rhs)
+    elif isinstance(stmt, Out):
+        new_expr = substitute(stmt.expr, bindings)
+        if new_expr != stmt.expr:
+            return Out(new_expr)
+    elif isinstance(stmt, Branch):
+        new_cond = substitute(stmt.cond, bindings)
+        if new_cond != stmt.cond:
+            return Branch(new_cond)
+    return None

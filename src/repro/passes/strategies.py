@@ -1,0 +1,225 @@
+"""Heuristic variants from the paper's conclusions (Section 7).
+
+"In general, modifications of our algorithm should be applied that
+limit the number of assignment sinking and dead (faint) code
+elimination steps.  We are currently investigating heuristics guiding
+this limitation, which range from simply cutting the global iteration
+process after some given amount of time or a fixed number of iterations
+to localizing the optimization process to 'hot areas'."
+
+Two such modifications, with the ablation benches measuring the quality
+they trade away:
+
+* :func:`budgeted_pde` — cut the alternation after ``max_rounds``
+  global rounds (quality is monotone in the budget; the bench plots the
+  convergence curve);
+* :func:`regional_pde` — localise to a block region ("hot area"): only
+  assignments whose *entire* movement (all removals and insertions)
+  stays inside the region are touched, and only region blocks are
+  cleaned by dce — a sound restriction of the full transformation.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List
+
+from ..ir.cfg import FlowGraph
+from ..ir.splitting import split_critical_edges
+from ..ir.stmts import Assign, Statement
+from ..core.driver import OptimizationResult, OptimizationStats, pde
+from ..core.eliminate import dead_code_elimination
+from ..dataflow.dead import analyze_dead
+from ..dataflow.delay import analyze_delayability
+from ..dataflow.patterns import sinking_candidate_index
+
+__all__ = ["budgeted_pde", "regional_pde"]
+
+
+def budgeted_pde(graph: FlowGraph, max_rounds: int) -> OptimizationResult:
+    """PDE cut off after ``max_rounds`` global rounds.
+
+    Unlike :func:`repro.core.driver.pde` with ``max_rounds`` (which
+    *raises* on non-termination — there it indicates a bug), hitting the
+    budget here is the intended behaviour: the program is simply
+    returned as-is, partially optimised but always semantically correct
+    (every prefix of the alternation is a valid transformation
+    sequence).
+    """
+    from ..core.sink import assignment_sinking
+
+    split = split_critical_edges(graph)
+    work = split.copy()
+    stats = OptimizationStats()
+    stats.original_instructions = split.instruction_count()
+    stats.peak_instructions = stats.original_instructions
+    for _ in range(max_rounds):
+        elimination = dead_code_elimination(work)
+        sinking = assignment_sinking(work)
+        stats.rounds += 1
+        stats.component_applications += 2
+        stats.eliminated += len(elimination)
+        stats.sunk_removed += len(sinking.removed)
+        stats.sunk_inserted += len(sinking.inserted)
+        stats.peak_instructions = max(stats.peak_instructions, work.instruction_count())
+        if not elimination.changed and not sinking.changed:
+            break
+    stats.final_instructions = work.instruction_count()
+    return OptimizationResult(original=split, graph=work, stats=stats, variant="pde")
+
+
+def regional_pde(
+    graph: FlowGraph, region: Iterable[str], max_rounds: int = 100
+) -> OptimizationResult:
+    """PDE localised to the block set ``region`` (a "hot area").
+
+    Per round: dce restricted to region blocks; sinking restricted to
+    patterns whose candidates *and* insertion points all lie inside the
+    region (other patterns are left untouched entirely, keeping the
+    restriction admissible).  Region names refer to the edge-split
+    graph; synthetic ``S<m>_<n>`` nodes of in-region edges should be
+    included by the caller — :func:`region_closure` helps.
+    """
+    split = split_critical_edges(graph)
+    hot: FrozenSet[str] = frozenset(region)
+    unknown = hot - set(split.nodes())
+    if unknown:
+        raise ValueError(f"region names not in the (split) graph: {sorted(unknown)}")
+
+    work = split.copy()
+    stats = OptimizationStats()
+    stats.original_instructions = split.instruction_count()
+    stats.peak_instructions = stats.original_instructions
+
+    for _ in range(max_rounds):
+        changed = _regional_dce(work, hot, stats)
+        changed |= _regional_sink(work, hot, stats)
+        stats.rounds += 1
+        stats.component_applications += 2
+        stats.peak_instructions = max(stats.peak_instructions, work.instruction_count())
+        if not changed:
+            break
+    stats.final_instructions = work.instruction_count()
+    return OptimizationResult(original=split, graph=work, stats=stats, variant="pde")
+
+
+def region_closure(
+    graph: FlowGraph, region: Iterable[str], include_frontier: bool = False
+) -> FrozenSet[str]:
+    """``region`` plus the synthetic nodes splitting in-region edges.
+
+    ``include_frontier`` additionally adds the immediate successors of
+    region blocks.  Sinking moves code *with* the control flow, so a
+    region's win usually materialises at its exits — a hot loop without
+    its exit blocks cannot drain (the insertion points would fall
+    outside the region and :func:`regional_pde` would conservatively
+    leave the pattern alone).
+    """
+    from ..ir.splitting import is_synthetic
+
+    split = split_critical_edges(graph)
+    hot = set(region)
+    if include_frontier:
+        for node in list(hot):
+            if split.has_block(node):
+                hot.update(split.successors(node))
+        hot.discard(split.end)
+    for node in split.nodes():
+        if not is_synthetic(node):
+            continue
+        preds = split.predecessors(node)
+        succs = split.successors(node)
+        if all(p in hot for p in preds) and all(s in hot for s in succs):
+            hot.add(node)
+    return frozenset(hot)
+
+
+def loop_regions(graph: FlowGraph, include_frontier: bool = True) -> FrozenSet[str]:
+    """A structural 'hot area': the union of all natural loop bodies.
+
+    The usual static heuristic when no profile exists — loops are where
+    programs spend their time.  ``include_frontier`` adds the loop exit
+    blocks, which sinking needs to realise the win (see
+    :func:`region_closure`).
+    """
+    from ..ir.loops import natural_loops
+
+    split = split_critical_edges(graph)
+    hot: set = set()
+    for loop in natural_loops(split):
+        hot |= loop.body
+    return region_closure(split, hot, include_frontier=include_frontier)
+
+
+def _regional_dce(work: FlowGraph, hot: FrozenSet[str], stats) -> bool:
+    dead = analyze_dead(work)
+    changed = False
+    for node in hot:
+        statements = list(work.statements(node))
+        if not statements:
+            continue
+        after = dead.after_each(node)
+        kept: List[Statement] = []
+        for index, stmt in enumerate(statements):
+            if (
+                isinstance(stmt, Assign)
+                and stmt.lhs in dead.universe
+                and dead.universe.test(after[index], stmt.lhs)
+            ):
+                stats.eliminated += 1
+                changed = True
+            else:
+                kept.append(stmt)
+        if len(kept) != len(statements):
+            work.set_statements(node, kept)
+    return changed
+
+
+def _regional_sink(work: FlowGraph, hot: FrozenSet[str], stats) -> bool:
+    delayability = analyze_delayability(work)
+    patterns = delayability.patterns
+
+    # A pattern is movable iff every block where anything would happen —
+    # candidate removal, entry or exit insertion — lies in the region.
+    movable = []
+    for info in patterns:
+        bit = patterns.universe.bit(info.pattern)
+        sites: List[str] = []
+        for node in work.nodes():
+            virtually = work.globals if node == work.end else frozenset()
+            if (
+                sinking_candidate_index(work.statements(node), info, virtually)
+                is not None
+            ):
+                sites.append(node)
+            if delayability.n_insert(node) & bit or delayability.x_insert(node) & bit:
+                sites.append(node)
+        if sites and all(site in hot for site in sites):
+            movable.append(info)
+
+    changed = False
+    inserts_entry = {node: [] for node in work.nodes()}
+    inserts_exit = {node: [] for node in work.nodes()}
+    removals = {node: [] for node in work.nodes()}
+    for info in movable:
+        bit = patterns.universe.bit(info.pattern)
+        for node in work.nodes():
+            virtually = work.globals if node == work.end else frozenset()
+            index = sinking_candidate_index(work.statements(node), info, virtually)
+            if index is not None:
+                removals[node].append(index)
+            if delayability.n_insert(node) & bit:
+                inserts_entry[node].append(info.instance())
+            if delayability.x_insert(node) & bit:
+                inserts_exit[node].append(info.instance())
+
+    for node in work.nodes():
+        statements = list(work.statements(node))
+        for index in sorted(removals[node], reverse=True):
+            del statements[index]
+            stats.sunk_removed += 1
+        statements = inserts_entry[node] + statements + inserts_exit[node]
+        stats.sunk_inserted += len(inserts_entry[node]) + len(inserts_exit[node])
+        if list(work.statements(node)) != statements:
+            work.set_statements(node, statements)
+            changed = True
+    return changed

@@ -1,0 +1,193 @@
+"""Superlocal value numbering (the [27] comparison point).
+
+Section 6.4 positions the paper's cost against "the algorithm for
+global value numbering of [27], which requires reducible flow graphs
+and guarantees optimality only for acyclic program structures".  We
+implement the classic *extended-basic-block* value numbering: walk the
+dominator tree with a scoped hash table from value expressions to the
+register holding them, inheriting the table only across
+single-predecessor edges — i.e. along EBB paths, where the inherited
+bindings describe the unique execution path into the block.  A
+recomputation of an available value becomes a copy.
+
+(The full dominator-scoped variant is only sound on SSA form: a
+non-dominating sibling can redefine an operand on *some* path into a
+merge, so merge blocks must start fresh here.  Our SSA substrate exists
+— `repro.ssa` — but keeping this pass on the plain IR keeps its output
+directly comparable with the others.)
+
+Scope and honesty notes:
+
+* redundancy is detected along EBB paths only — a strictly weaker scope
+  than dominator trees and far weaker than LCM; a test demonstrates the
+  merge-redundancy gap exactly as Section 6.4's comparison implies;
+* values are *syntactic up to commutativity* of ``+`` and ``*`` — no
+  algebraic reasoning beyond operand ordering;
+* a definition whose operands were redefined since kills the old value
+  bindings (we number values, not variables: bindings are dropped when
+  the holding register is overwritten).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.cfg import FlowGraph
+from ..ir.exprs import BinOp, Const, Expr, UnaryOp, Var
+from ..ir.splitting import split_critical_edges
+from ..ir.stmts import Assign, Statement
+from ..ssa.domtree import DominatorTree
+
+__all__ = ["ValueNumberingReport", "value_numbering"]
+
+_COMMUTATIVE = {"+", "*"}
+
+
+@dataclass
+class ValueNumberingReport:
+    """What one value-numbering pass rewrote."""
+
+    original: FlowGraph
+    graph: FlowGraph
+    #: ``(block, index)`` computations replaced by copies.
+    replaced: List[Tuple[str, int]] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.replaced)
+
+
+class _ScopedTable:
+    """A hash table with dominator-tree scoping (push/pop frames)."""
+
+    def __init__(self) -> None:
+        self._frames: List[Dict[Tuple, str]] = [{}]
+        #: register -> keys it currently backs (for invalidation).
+        self._backing: List[Dict[str, List[Tuple]]] = [{}]
+
+    def push(self) -> None:
+        self._frames.append({})
+        self._backing.append({})
+
+    def pop(self) -> None:
+        self._frames.pop()
+        self._backing.pop()
+
+    def lookup(self, key: Tuple) -> Optional[str]:
+        for frame in reversed(self._frames):
+            if key in frame:
+                value = frame[key]
+                return value if value is not None else None
+        return None
+
+    def bind(self, key: Tuple, register: str) -> None:
+        self._frames[-1][key] = register
+        self._backing[-1].setdefault(register, []).append(key)
+
+    def invalidate_register(self, register: str) -> None:
+        """Drop every binding held in ``register`` (any frame) — done by
+        shadowing with a tombstone in the current frame, so enclosing
+        scopes are restored on pop."""
+        for frame_index in range(len(self._frames)):
+            for key in self._backing[frame_index].get(register, ()):
+                if self._frames[frame_index].get(key) == register:
+                    self._frames[-1][key] = None  # tombstone shadow
+
+
+def _value_key(expr: Expr) -> Optional[Tuple]:
+    """A hashable value identity for ``expr`` (None = not numbered)."""
+    if isinstance(expr, BinOp):
+        left = _operand_key(expr.left)
+        right = _operand_key(expr.right)
+        if left is None or right is None:
+            return None
+        if expr.op in _COMMUTATIVE and right < left:
+            left, right = right, left
+        return ("bin", expr.op, left, right)
+    if isinstance(expr, UnaryOp):
+        operand = _operand_key(expr.operand)
+        if operand is None:
+            return None
+        return ("un", expr.op, operand)
+    return None  # bare variables / constants: copies, not computations
+
+
+def _operand_key(expr: Expr) -> Optional[Tuple]:
+    if isinstance(expr, Var):
+        return ("v", expr.name)
+    if isinstance(expr, Const):
+        return ("c", expr.value)
+    return None  # nested compounds are not produced by the parser's 3-addr shapes
+
+
+def _key_mentions(key: Tuple, register: str) -> bool:
+    return ("v", register) in key[2:]
+
+
+def value_numbering(graph: FlowGraph, split_edges: bool = True) -> ValueNumberingReport:
+    """Run dominator-scoped value numbering; returns a transformed copy."""
+    original = split_critical_edges(graph) if split_edges else graph.copy()
+    work = original.copy()
+    tree = DominatorTree(work)
+    report = ValueNumberingReport(original=original, graph=work)
+    table = _ScopedTable()  # rebound per block in the walk below
+
+    def process_block(node: str) -> None:
+        statements: List[Statement] = list(work.statements(node))
+        changed = False
+        for index, stmt in enumerate(statements):
+            if isinstance(stmt, Assign):
+                key = _value_key(stmt.rhs)
+                if key is not None:
+                    holder = table.lookup(key)
+                    if holder is not None:
+                        statements[index] = Assign(stmt.lhs, Var(holder))
+                        report.replaced.append((node, index))
+                        changed = True
+                        key = None  # the copy defines no new value
+                # The definition invalidates values held in (or built
+                # from) the overwritten register.
+                table.invalidate_register(stmt.lhs)
+                _invalidate_dependents(table, stmt.lhs)
+                if key is not None and not _key_mentions(key, stmt.lhs):
+                    table.bind(key, stmt.lhs)
+        if changed:
+            work.set_statements(node, statements)
+
+    def _invalidate_dependents(scoped: _ScopedTable, register: str) -> None:
+        """Drop values whose operands include ``register``."""
+        for frame_index in range(len(scoped._frames)):
+            for key, holder in list(scoped._frames[frame_index].items()):
+                if holder is not None and _key_mentions(key, register):
+                    scoped._frames[-1][key] = None
+
+    # Iterative dominator-tree walk with scoped frames.  A child with
+    # more than one predecessor starts a fresh EBB: inherited bindings
+    # would describe only one of the paths into it.
+    fresh_table_at: Dict[str, bool] = {
+        node: len(work.predecessors(node)) != 1 for node in work.nodes()
+    }
+    tables: Dict[str, _ScopedTable] = {}
+
+    stack: List[Tuple[str, bool]] = [(work.start, False)]
+    active: List[_ScopedTable] = []
+    while stack:
+        node, done = stack.pop()
+        if done:
+            tables[node].pop()
+            active.pop()
+            continue
+        if fresh_table_at[node] or not active:
+            current = _ScopedTable()
+        else:
+            current = active[-1]
+        tables[node] = current
+        active.append(current)
+        current.push()
+        table = current  # process_block reads the enclosing name
+        process_block(node)
+        stack.append((node, True))
+        for child in reversed(tree.children[node]):
+            stack.append((child, False))
+    return report

@@ -1,0 +1,21 @@
+"""Static single assignment form — the substrate of the Cytron et al.
+dead code eliminator that paper Section 5.2 uses as its efficiency
+reference point."""
+
+from .construct import Phi, SSAProgram, base_name, construct_ssa, versioned
+from .dce import SSADeadCodeResult, ssa_dead_code_elimination
+from .destruct import destruct
+from .domtree import DominatorTree, dominance_frontiers
+
+__all__ = [
+    "Phi",
+    "SSAProgram",
+    "base_name",
+    "construct_ssa",
+    "versioned",
+    "SSADeadCodeResult",
+    "ssa_dead_code_elimination",
+    "destruct",
+    "DominatorTree",
+    "dominance_frontiers",
+]

@@ -1,0 +1,212 @@
+"""SSA construction: φ-placement and renaming (Cytron et al. [5]).
+
+Paper Section 5.2 compares its iterative dead code elimination with the
+algorithm of [5], which works "on a sparse definition-use graph based on
+the SSA form" with worst-case cost ``O(i·v)``.  To make that comparison
+concrete we build SSA the standard way:
+
+1. place φ-functions at the iterated dominance frontier of each
+   variable's definition sites,
+2. rename along the dominator tree with one version stack per variable.
+
+SSA versions are rendered ``name%k`` — a spelling that cannot collide
+with source identifiers (the surface syntax has no ``%`` in names).
+φ-functions are a dedicated statement type living only inside SSA form;
+:func:`repro.ssa.destruct.destruct` lowers them back to copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.cfg import FlowGraph
+from ..ir.exprs import Expr, Var, substitute
+from ..ir.stmts import Assign, Branch, Out, Skip, Statement
+from .domtree import DominatorTree, dominance_frontiers
+
+__all__ = ["Phi", "SSAProgram", "construct_ssa", "base_name", "versioned"]
+
+_SEPARATOR = "%"
+
+
+def versioned(name: str, version: int) -> str:
+    return f"{name}{_SEPARATOR}{version}"
+
+
+def base_name(name: str) -> str:
+    """The source variable an SSA name versions (identity on plain names)."""
+    return name.split(_SEPARATOR, 1)[0]
+
+
+@dataclass(frozen=True)
+class Phi:
+    """``lhs := φ(arg per predecessor)`` at the entry of a join block.
+
+    ``args`` pairs each predecessor block with the SSA name flowing in
+    along that edge (None when the variable is undefined on the edge).
+    """
+
+    lhs: str
+    args: Tuple[Tuple[str, Optional[str]], ...]
+
+    def used(self) -> frozenset[str]:
+        return frozenset(name for _pred, name in self.args if name is not None)
+
+    def relevant_used(self) -> frozenset[str]:
+        return frozenset()
+
+    def assign_used(self) -> frozenset[str]:
+        return self.used()
+
+    def modified(self) -> Optional[str]:
+        return self.lhs
+
+    def is_relevant(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        rendered = ", ".join(
+            f"{pred}: {name if name is not None else '⊥'}" for pred, name in self.args
+        )
+        return f"{self.lhs} := φ({rendered})"
+
+
+@dataclass
+class SSAProgram:
+    """A flow graph in SSA form plus construction metadata."""
+
+    graph: FlowGraph
+    #: φ count per block (diagnostics / sparsity measurements).
+    phi_count: int
+    #: Final SSA version per source variable at the exit of ``e``.
+    exit_versions: Dict[str, str]
+
+
+def construct_ssa(graph: FlowGraph) -> SSAProgram:
+    """Convert ``graph`` (critical-edge-free or not) to SSA form."""
+    tree = DominatorTree(graph)
+    frontiers = dominance_frontiers(graph)
+    reachable = set(tree.idom)
+
+    # 1. φ placement: iterated dominance frontier of each variable's defs.
+    def_sites: Dict[str, set] = {}
+    for node in reachable:
+        for stmt in graph.statements(node):
+            modified = stmt.modified()
+            if modified is not None:
+                def_sites.setdefault(modified, set()).add(node)
+
+    phis: Dict[str, set] = {node: set() for node in reachable}  # node -> vars
+    for variable, sites in def_sites.items():
+        pending = list(sites)
+        placed: set = set()
+        on_list = set(sites)
+        while pending:
+            site = pending.pop()
+            for frontier_node in frontiers.get(site, frozenset()):
+                if frontier_node in placed:
+                    continue
+                placed.add(frontier_node)
+                phis[frontier_node].add(variable)
+                if frontier_node not in on_list:
+                    on_list.add(frontier_node)
+                    pending.append(frontier_node)
+
+    # 2. Renaming along the dominator tree.
+    ssa = graph.copy()
+    counter: Dict[str, int] = {}
+    stacks: Dict[str, List[str]] = {}
+
+    def fresh(variable: str) -> str:
+        counter[variable] = counter.get(variable, 0) + 1
+        name = versioned(variable, counter[variable])
+        stacks.setdefault(variable, []).append(name)
+        return name
+
+    def current(variable: str) -> Optional[str]:
+        stack = stacks.get(variable)
+        return stack[-1] if stack else None
+
+    def rename_expr(expr: Expr) -> Expr:
+        bindings = {}
+        for variable in expr.variables():
+            name = current(variable)
+            if name is not None:
+                bindings[variable] = Var(name)
+        return substitute(expr, bindings)
+
+    # φ argument slots to fill in after the walk: (block, var) -> per-pred.
+    phi_args: Dict[Tuple[str, str], Dict[str, Optional[str]]] = {
+        (node, variable): {} for node in reachable for variable in phis[node]
+    }
+    phi_names: Dict[Tuple[str, str], str] = {}
+
+    exit_versions: Dict[str, str] = {}
+
+    def enter(node: str) -> List[str]:
+        pushed: List[str] = []
+        for variable in sorted(phis[node]):
+            name = fresh(variable)
+            phi_names[(node, variable)] = name
+            pushed.append(variable)
+        renamed: List[Statement] = []
+        for stmt in graph.statements(node):
+            if isinstance(stmt, Assign):
+                rhs = rename_expr(stmt.rhs)
+                lhs = fresh(stmt.lhs)
+                pushed.append(stmt.lhs)
+                renamed.append(Assign(lhs, rhs))
+            elif isinstance(stmt, Out):
+                renamed.append(Out(rename_expr(stmt.expr)))
+            elif isinstance(stmt, Branch):
+                renamed.append(Branch(rename_expr(stmt.cond)))
+            else:
+                renamed.append(Skip())
+        ssa.set_statements(node, renamed)
+
+        for successor in graph.successors(node):
+            for variable in phis.get(successor, ()):  # fill φ args
+                # The base name is the implicit initial version (the
+                # variable's value at program entry): paths carrying no
+                # definition contribute it, never an undefined slot.
+                phi_args[(successor, variable)][node] = current(variable) or variable
+        if node == graph.end:
+            # Versions visible at the exit of e (the virtual global uses).
+            for variable in graph.globals:
+                name = current(variable)
+                if name is not None:
+                    exit_versions[variable] = name
+        return pushed
+
+    # Iterative dominator-tree walk (deep programs would overflow the
+    # Python recursion limit otherwise).
+    stack: List[Tuple[str, bool]] = [(graph.start, False)]
+    pushed_per_node: Dict[str, List[str]] = {}
+    while stack:
+        node, done = stack.pop()
+        if done:
+            for variable in reversed(pushed_per_node[node]):
+                stacks[variable].pop()
+            continue
+        pushed_per_node[node] = enter(node)
+        stack.append((node, True))
+        for child in reversed(tree.children[node]):
+            stack.append((child, False))
+
+    # Materialise φ statements at block entries.
+    phi_count = 0
+    for node in reachable:
+        if not phis[node]:
+            continue
+        materialised: List[Statement] = []
+        for variable in sorted(phis[node]):
+            args = tuple(
+                (pred, phi_args[(node, variable)].get(pred))
+                for pred in graph.predecessors(node)
+            )
+            materialised.append(Phi(phi_names[(node, variable)], args))
+            phi_count += 1
+        ssa.set_statements(node, materialised + list(ssa.statements(node)))
+
+    return SSAProgram(graph=ssa, phi_count=phi_count, exit_versions=exit_versions)

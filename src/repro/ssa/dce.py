@@ -1,0 +1,94 @@
+"""SSA-based dead code elimination (Cytron et al. [5]).
+
+The mark/sweep on SSA form that paper Section 5.2 credits with
+``O(i·v)`` worst-case cost thanks to the *sparse* def-use structure:
+in SSA every use is reached by exactly one definition, so the def-use
+graph has at most one edge per use.
+
+Marking starts from relevant statements (``out``, branch conditions)
+and from the SSA versions of globals visible at ``e``; a definition
+becomes live when a live statement uses its name; sweep removes
+unmarked assignments and φ-functions.  With these optimistic
+assumptions the algorithm removes exactly the *faint* assignments —
+the same power as :func:`repro.baselines.fce_only.fce_only` and the
+dense def-use marking, at sparse cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from ..ir.cfg import FlowGraph
+from ..ir.stmts import Assign
+from .construct import Phi, SSAProgram
+
+__all__ = ["SSADeadCodeResult", "ssa_dead_code_elimination"]
+
+Site = Tuple[str, int]
+
+
+@dataclass
+class SSADeadCodeResult:
+    """Outcome of one SSA mark/sweep."""
+
+    graph: FlowGraph
+    removed: List[Site]
+    #: Def-use edges traversed — the sparsity measure Section 5.2 is
+    #: about (compare with the dense graph's ``edge_count``).
+    edges_traversed: int
+
+
+def ssa_dead_code_elimination(program: SSAProgram) -> SSADeadCodeResult:
+    """Run the mark/sweep on ``program`` (mutating its graph)."""
+    graph = program.graph
+
+    # In SSA each name has exactly one defining site.
+    def_site: Dict[str, Site] = {}
+    for node in graph.nodes():
+        for index, stmt in enumerate(graph.statements(node)):
+            modified = stmt.modified()
+            if modified is not None:
+                def_site[modified] = (node, index)
+
+    live: Set[Site] = set()
+    worklist: List[Site] = []
+    edges = 0
+
+    def mark_name(name: str) -> None:
+        nonlocal edges
+        site = def_site.get(name)
+        if site is None:
+            return
+        edges += 1
+        if site not in live:
+            live.add(site)
+            worklist.append(site)
+
+    for node in graph.nodes():
+        for index, stmt in enumerate(graph.statements(node)):
+            if stmt.is_relevant():
+                for name in stmt.used():
+                    mark_name(name)
+    for name in program.exit_versions.values():
+        mark_name(name)
+
+    while worklist:
+        node, index = worklist.pop()
+        stmt = graph.statements(node)[index]
+        for name in stmt.used():
+            mark_name(name)
+
+    removed: List[Site] = []
+    for node in graph.nodes():
+        statements = list(graph.statements(node))
+        kept = []
+        for index, stmt in enumerate(statements):
+            is_def = isinstance(stmt, (Assign, Phi))
+            if is_def and (node, index) not in live:
+                removed.append((node, index))
+            else:
+                kept.append(stmt)
+        if len(kept) != len(statements):
+            graph.set_statements(node, kept)
+    return SSADeadCodeResult(graph=graph, removed=removed, edges_traversed=edges)

@@ -1,0 +1,56 @@
+"""Out-of-SSA translation.
+
+φ-functions are lowered to ordinary copies at the end of each
+predecessor block: ``x%3 := φ(p: x%1, q: x%2)`` becomes ``x%3 := x%1``
+at the end of ``p`` and ``x%3 := x%2`` at the end of ``q``.  On a
+critical-edge-free graph this is safe (each copy affects exactly the
+φ's edge); we additionally rely on the conventional SSA property that
+φ-functions of one block read only versions live-out of the respective
+predecessors.
+
+SSA version names (``x%k``) remain in the program — the interpreter
+does not care, and tests compare *observable behaviour* (``out``
+sequences), which is version-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..ir.cfg import FlowGraph
+from ..ir.exprs import Var
+from ..ir.stmts import Assign, Branch, Statement
+from .construct import Phi
+
+__all__ = ["destruct"]
+
+
+def destruct(graph: FlowGraph) -> FlowGraph:
+    """Return a φ-free copy of ``graph`` (copies placed in predecessors)."""
+    result = graph.copy()
+    pending_copies: Dict[str, List[Assign]] = {}
+
+    for node in result.nodes():
+        statements = list(result.statements(node))
+        remaining: List[Statement] = []
+        for stmt in statements:
+            if isinstance(stmt, Phi):
+                for pred, name in stmt.args:
+                    if name is None:
+                        continue  # undefined along this edge: value unused
+                    pending_copies.setdefault(pred, []).append(
+                        Assign(stmt.lhs, Var(name))
+                    )
+            else:
+                remaining.append(stmt)
+        if len(remaining) != len(statements):
+            result.set_statements(node, remaining)
+
+    for node, copies in pending_copies.items():
+        statements = list(result.statements(node))
+        if statements and isinstance(statements[-1], Branch):
+            statements = statements[:-1] + copies + [statements[-1]]
+        else:
+            statements = statements + copies
+        result.set_statements(node, statements)
+    return result

@@ -1,0 +1,77 @@
+"""Dominator trees and dominance frontiers.
+
+Substrate for the SSA-based dead code elimination of Cytron et al. [5],
+which paper Section 5.2 cites as the efficient (``O(i·v)``) standard
+method its own iterative elimination matches.  Built on the dominator
+*sets* of :mod:`repro.ir.dominance`; programs here are small enough that
+the simple constructions are the clear choice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional
+
+from ..ir.cfg import FlowGraph
+from ..ir.dominance import dominators
+
+__all__ = ["DominatorTree", "dominance_frontiers"]
+
+
+class DominatorTree:
+    """Immediate dominators and the tree they induce."""
+
+    def __init__(self, graph: FlowGraph) -> None:
+        self.graph = graph
+        self._dom: Dict[str, FrozenSet[str]] = dominators(graph)
+        self.idom: Dict[str, Optional[str]] = {}
+        self.children: Dict[str, List[str]] = {node: [] for node in self._dom}
+        for node, doms in self._dom.items():
+            if node == graph.start:
+                self.idom[node] = None
+                continue
+            strict = doms - {node}
+            # The immediate dominator is the strict dominator that every
+            # other strict dominator dominates (the closest one).
+            immediate = None
+            for candidate in strict:
+                if all(other in self._dom[candidate] for other in strict):
+                    immediate = candidate
+                    break
+            self.idom[node] = immediate
+            if immediate is not None:
+                self.children[immediate].append(node)
+        for node in self.children:
+            self.children[node].sort()
+
+    def dominates(self, a: str, b: str) -> bool:
+        return a in self._dom.get(b, frozenset())
+
+    def strictly_dominates(self, a: str, b: str) -> bool:
+        return a != b and self.dominates(a, b)
+
+    def preorder(self) -> List[str]:
+        """Dominator-tree preorder starting at the graph's start node."""
+        order: List[str] = []
+        stack = [self.graph.start]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            stack.extend(reversed(self.children[node]))
+        return order
+
+
+def dominance_frontiers(graph: FlowGraph) -> Dict[str, FrozenSet[str]]:
+    """``DF(n)`` for every reachable node, by the classic definition:
+    ``m ∈ DF(n)`` iff ``n`` dominates a predecessor of ``m`` but does not
+    strictly dominate ``m``."""
+    tree = DominatorTree(graph)
+    frontier: Dict[str, set] = {node: set() for node in tree.idom}
+    for m in tree.idom:
+        for p in graph.predecessors(m):
+            if p not in tree.idom:
+                continue
+            runner: Optional[str] = p
+            while runner is not None and not tree.strictly_dominates(runner, m):
+                frontier[runner].add(m)
+                runner = tree.idom[runner]
+    return {node: frozenset(values) for node, values in frontier.items()}

@@ -1,0 +1,19 @@
+"""Program generators for property tests and the Section 6 scaling study."""
+
+from .generator import (
+    diamond_chain,
+    irreducible_mesh,
+    loop_chain,
+    peel_chain,
+    random_arbitrary_graph,
+    random_structured_program,
+)
+
+__all__ = [
+    "diamond_chain",
+    "irreducible_mesh",
+    "loop_chain",
+    "peel_chain",
+    "random_arbitrary_graph",
+    "random_structured_program",
+]

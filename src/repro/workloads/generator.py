@@ -1,0 +1,286 @@
+"""Random and parametric program generators.
+
+The paper evaluates its algorithm analytically (Section 6); to *measure*
+those claims we need program families whose size parameters — blocks
+``b``, instructions ``i``, variables ``v``, assignment patterns ``a`` —
+we control:
+
+* :func:`random_structured_program` — seeded random structured programs
+  (sequences, branches, loops), exercising the parser and the common
+  reducible-flow case; used by the property-based tests as well;
+* :func:`random_arbitrary_graph` — seeded random flow graphs with extra
+  forward/backward/cross edges, routinely irreducible; the paper's
+  algorithm handles these where structured-program techniques do not;
+* :func:`diamond_chain` / :func:`loop_chain` — deterministic scaling
+  families for the Section 6 complexity study: each segment contains
+  genuinely partially dead code, so optimisation work grows linearly in
+  the parameter and the measured exponents are meaningful.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..ir.builder import GraphBuilder
+from ..ir.cfg import FlowGraph
+from ..ir.parser import parse_program
+
+__all__ = [
+    "random_structured_program",
+    "random_arbitrary_graph",
+    "diamond_chain",
+    "loop_chain",
+    "irreducible_mesh",
+    "peel_chain",
+]
+
+
+def _random_expr(rng: random.Random, variables: Sequence[str]) -> str:
+    roll = rng.random()
+    if roll < 0.25:
+        return str(rng.randint(0, 9))
+    if roll < 0.5:
+        return rng.choice(variables)
+    op = rng.choice(("+", "-", "*"))
+    return f"{rng.choice(variables)} {op} {_random_atom(rng, variables)}"
+
+
+def _random_atom(rng: random.Random, variables: Sequence[str]) -> str:
+    if rng.random() < 0.5:
+        return rng.choice(variables)
+    return str(rng.randint(0, 9))
+
+
+def _random_simple_statement(rng: random.Random, variables: Sequence[str]) -> str:
+    if rng.random() < 0.2:
+        return f"out({_random_expr(rng, variables)});"
+    return f"{rng.choice(variables)} := {_random_expr(rng, variables)};"
+
+
+def _random_block_body(
+    rng: random.Random, variables: Sequence[str], depth: int, budget: List[int]
+) -> List[str]:
+    lines: List[str] = []
+    statements = rng.randint(1, 4)
+    for _ in range(statements):
+        if budget[0] <= 0:
+            break
+        roll = rng.random()
+        if roll < 0.15 and depth > 0:
+            budget[0] -= 1
+            cond = "?" if rng.random() < 0.6 else f"({rng.choice(variables)} > 0)"
+            lines.append(f"if {cond} {{")
+            lines += [
+                "  " + line
+                for line in _random_block_body(rng, variables, depth - 1, budget)
+            ]
+            if rng.random() < 0.7:
+                lines.append("} else {")
+                lines += [
+                    "  " + line
+                    for line in _random_block_body(rng, variables, depth - 1, budget)
+                ]
+            lines.append("}")
+        elif roll < 0.25 and depth > 0:
+            budget[0] -= 1
+            cond = "?" if rng.random() < 0.7 else f"({rng.choice(variables)} > 0)"
+            lines.append(f"while {cond} {{")
+            lines += [
+                "  " + line
+                for line in _random_block_body(rng, variables, depth - 1, budget)
+            ]
+            lines.append("}")
+        else:
+            budget[0] -= 1
+            lines.append(_random_simple_statement(rng, variables))
+    return lines
+
+
+def random_structured_program(
+    seed: int = 0,
+    size: int = 20,
+    n_variables: int = 5,
+    max_depth: int = 3,
+) -> FlowGraph:
+    """A seeded random structured program of roughly ``size`` statements.
+
+    A trailing ``out`` over all variables keeps part of the computation
+    relevant, so programs are neither fully dead nor fully live.
+    """
+    rng = random.Random(seed)
+    variables = [f"v{i}" for i in range(max(1, n_variables))]
+    budget = [max(1, size)]
+    lines: List[str] = []
+    while budget[0] > 0:
+        lines += _random_block_body(rng, variables, max_depth, budget)
+    # Anchor a random subset of variables as observable outputs.
+    observed = rng.sample(variables, k=max(1, len(variables) // 2))
+    for name in observed:
+        lines.append(f"out({name});")
+    return parse_program("\n".join(lines))
+
+
+def random_arbitrary_graph(
+    seed: int = 0,
+    n_blocks: int = 10,
+    n_variables: int = 5,
+    extra_edges: Optional[int] = None,
+    statements_per_block: int = 3,
+) -> FlowGraph:
+    """A seeded random flow graph with arbitrary (often irreducible) shape.
+
+    A backbone chain ``s → 1 → … → n → e`` guarantees every node lies on
+    an ``s``–``e`` path; ``extra_edges`` random forward/backward edges
+    (default ``n_blocks``) add merges, branches and loops.
+    """
+    rng = random.Random(seed)
+    variables = [f"v{i}" for i in range(max(1, n_variables))]
+    builder = GraphBuilder()
+    names = [str(i) for i in range(1, n_blocks + 1)]
+    for name in names:
+        count = rng.randint(0, statements_per_block)
+        body = " ".join(_random_simple_statement(rng, variables) for _ in range(count))
+        builder.block(name, body or None)
+    last = names[-1]
+    builder.block(last, f"out({rng.choice(variables)});")
+
+    builder.chain("s", *names, "e")
+    edges = {(str(i), str(i + 1)) for i in range(1, n_blocks)}
+    edges |= {("s", "1"), (last, "e")}
+    wanted = extra_edges if extra_edges is not None else n_blocks
+    attempts = 0
+    added = 0
+    while added < wanted and attempts < 20 * wanted:
+        attempts += 1
+        src = rng.choice(names)
+        dst = rng.choice(names + ["e"])
+        if src == dst or (src, dst) == (last, "e"):
+            continue
+        if dst == "e" and rng.random() < 0.7:
+            continue  # keep most extra edges internal
+        if (src, dst) in edges:
+            continue
+        edges.add((src, dst))
+        builder.edge(src, dst)
+        added += 1
+    return builder.build()
+
+
+def diamond_chain(segments: int, live_every: int = 2) -> FlowGraph:
+    """A deterministic chain of ``segments`` diamonds with partially dead
+    assignments.
+
+    Segment ``k`` computes ``t := p + k`` before a fork; one branch
+    redefines ``t``, the join uses it.  Every ``live_every``-th segment
+    also publishes ``t``, anchoring long live ranges.  PDE has one
+    genuine sinking + elimination opportunity per segment, so total
+    optimisation work scales linearly with ``segments``.
+    """
+    builder = GraphBuilder()
+    previous = "s"
+    for k in range(1, segments + 1):
+        head, left, right, join = (
+            f"h{k}",
+            f"l{k}",
+            f"r{k}",
+            f"j{k}",
+        )
+        builder.block(head, f"t := p + {k};")
+        builder.block(left, None)
+        builder.block(right, f"t := {k};")
+        use = f"q := t * 2;" + (f" out(q);" if k % live_every == 0 else "")
+        builder.block(join, use)
+        builder.edge(previous, head)
+        builder.edges((head, left), (head, right), (left, join), (right, join))
+        previous = join
+    builder.block("fin", "out(q);")
+    builder.edge(previous, "fin")
+    builder.edge("fin", "e")
+    return builder.build()
+
+
+def peel_chain(depth: int) -> FlowGraph:
+    """An adversarial family where the round count ``r`` grows linearly —
+    the tight case for the Section 6.3 conjecture.
+
+    One block holds the dependency chain ``v1 := v0+1; v2 := v1+1; …;
+    v_depth := v_{depth-1}+1``; only ``v_depth`` is (partially) used.
+    Each statement blocks its predecessor — the use of ``v_{i}`` in
+    ``v_{i+1} := v_i + 1`` pins ``v_i``'s definition — so each global
+    round peels exactly one statement off the end of the chain
+    (sinking-sinking effects, Figure 10, chained ``depth`` times).
+    """
+    builder = GraphBuilder()
+    chain = "; ".join(f"v{i} := v{i - 1} + 1" for i in range(1, depth + 1))
+    builder.block("chain", chain + ";")
+    builder.block("user", f"out(v{depth});")
+    builder.block("skipper", f"v{depth} := 0; out(v{depth});")
+    builder.block("join", None)
+    builder.chain("s", "chain")
+    builder.edges(("chain", "user"), ("chain", "skipper"))
+    builder.edges(("user", "join"), ("skipper", "join"), ("join", "e"))
+    return builder.build()
+
+
+def irreducible_mesh(segments: int) -> FlowGraph:
+    """A chain of two-entry (irreducible) loop constructs — the Figure 5
+    pattern scaled.
+
+    Segment ``k``: a fork enters a loop ``l ⇄ r`` at both nodes; the
+    loop exits through ``r``.  An assignment before each segment is used
+    only after it, so PDE must carry it *across* the irreducible loop
+    exactly as in Figure 6.  Structured-program techniques (and
+    reducible-only algorithms such as [27]) cannot process these graphs
+    at all; this family feeds the slotwise worst-case measurements of
+    Section 6.1.
+    """
+    builder = GraphBuilder()
+    previous = "s"
+    for k in range(1, segments + 1):
+        head, fork, left, right, exit_ = (
+            f"h{k}",
+            f"f{k}",
+            f"l{k}",
+            f"r{k}",
+            f"x{k}",
+        )
+        builder.block(head, f"v := w + {k};")
+        builder.block(fork, None)
+        builder.block(left, None)
+        builder.block(right, None)
+        builder.block(exit_, f"out(v + {k});")
+        builder.edge(previous, head)
+        builder.edges(
+            (head, fork),
+            (fork, left),
+            (fork, right),
+            (left, right),
+            (right, left),
+            (right, exit_),
+        )
+        previous = exit_
+    builder.edge(previous, "e")
+    return builder.build()
+
+
+def loop_chain(loops: int) -> FlowGraph:
+    """A deterministic chain of ``loops`` loops, each containing a
+    loop-invariant pair used only after the loop (the Figure 3 pattern).
+
+    Exercises the expensive part of the algorithm: every loop needs
+    several global rounds to drain, so the iteration count ``r`` grows
+    with the parameter.
+    """
+    builder = GraphBuilder()
+    previous = "s"
+    for k in range(1, loops + 1):
+        body, latch, exit_ = f"b{k}", f"t{k}", f"x{k}"
+        builder.block(body, f"y := a + {k}; c := y - e{k};")
+        builder.block(latch, None)
+        builder.block(exit_, f"out(c);")
+        builder.edge(previous, body)
+        builder.edges((body, latch), (latch, body), (latch, exit_))
+        previous = exit_
+    builder.edge(previous, "e")
+    return builder.build()

@@ -1,0 +1,56 @@
+"""Unit tests for the iterated total-DCE baseline."""
+
+from repro.baselines import dce_only
+from repro.core import pde
+from repro.core.optimality import is_better_or_equal
+from repro.ir.parser import parse_program
+
+from ..helpers import all_statement_texts, assert_semantics_preserved
+
+FIG1 = """
+graph
+block s -> 1
+block 1 { y := a + b } -> 2, 3
+block 2 {} -> 4
+block 3 { y := 4 } -> 4
+block 4 { x := y + 3; out(x) } -> e
+block e
+"""
+
+
+class TestDceOnly:
+    def test_removes_totally_dead(self):
+        res = dce_only(
+            parse_program("graph\nblock s -> 1\nblock 1 { q := 1; out(x) } -> e\nblock e")
+        )
+        assert "q := 1" not in all_statement_texts(res.graph)
+        assert res.eliminated == 1
+
+    def test_cannot_touch_partially_dead(self):
+        res = dce_only(parse_program(FIG1))
+        assert "y := a + b" in all_statement_texts(res.graph)
+        assert res.eliminated == 0
+
+    def test_iterates_elimination_elimination_chains(self):
+        res = dce_only(
+            parse_program(
+                "graph\nblock s -> 1\n"
+                "block 1 { a := 2; y := a + b; y := c + d; out(y) } -> e\nblock e"
+            )
+        )
+        assert res.eliminated == 2
+        assert res.passes >= 2
+
+    def test_semantics_preserved(self):
+        res = dce_only(parse_program(FIG1))
+        assert_semantics_preserved(res.original, res.graph)
+
+    def test_pde_dominates_dce_only(self):
+        src = parse_program(FIG1)
+        weak = dce_only(src)
+        strong = pde(src)
+        assert is_better_or_equal(strong.graph, weak.graph)
+        assert not is_better_or_equal(weak.graph, strong.graph)
+
+    def test_result_named(self):
+        assert dce_only(parse_program(FIG1)).name == "dce-only"

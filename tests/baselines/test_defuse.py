@@ -1,0 +1,96 @@
+"""Unit tests for the def-use-graph marking baseline (Section 5.2)."""
+
+import pytest
+
+from repro.baselines import build_def_use_graph, defuse_elimination, fce_only
+from repro.ir.parser import parse_program
+from repro.ir.splitting import split_critical_edges
+from repro.workloads import random_arbitrary_graph, random_structured_program
+
+from ..helpers import all_statement_texts
+
+
+class TestGraphConstruction:
+    def test_edges_link_defs_to_uses(self):
+        g = parse_program(
+            "graph\nblock s -> 1\nblock 1 { x := 1; y := x + 1; out(y) } -> e\nblock e"
+        )
+        dug = build_def_use_graph(g)
+        assert ("1", 1) in dug.uses_of_def[("1", 0)]  # x := 1 feeds y := x+1
+        assert ("1", 2) in dug.uses_of_def[("1", 1)]  # y := x+1 feeds out(y)
+        assert ("1", 2) in dug.roots
+
+    def test_edge_count_measures_size(self):
+        g = parse_program(
+            "graph\nblock s -> 1\nblock 1 { x := 1; out(x); out(x) } -> e\nblock e"
+        )
+        dug = build_def_use_graph(g)
+        assert dug.edge_count == 2
+
+    def test_globals_rooted_at_end(self):
+        g = parse_program(
+            "graph\nglobals gv;\nblock s -> 1\nblock 1 { gv := 1 } -> e\nblock e"
+        )
+        dug = build_def_use_graph(g)
+        assert ("1", 0) in dug.global_defs
+
+
+class TestElimination:
+    def test_removes_unmarked_assignments(self):
+        res = defuse_elimination(
+            parse_program("graph\nblock s -> 1\nblock 1 { q := 1; out(x) } -> e\nblock e")
+        )
+        assert "q := 1" not in all_statement_texts(res.graph)
+
+    def test_optimistic_marking_removes_faint_code(self):
+        res = defuse_elimination(
+            parse_program(
+                """
+                graph
+                block s -> 1
+                block 1 {} -> 2
+                block 2 { x := x + 1 } -> 2, 3
+                block 3 { out(y) } -> e
+                block e
+                """
+            )
+        )
+        assert "x := x + 1" not in all_statement_texts(res.graph)
+
+    def test_keeps_global_assignments(self):
+        res = defuse_elimination(
+            parse_program(
+                "graph\nglobals gv;\nblock s -> 1\nblock 1 { gv := 1 } -> e\nblock e"
+            )
+        )
+        assert "gv := 1" in all_statement_texts(res.graph)
+
+    def test_keeps_branch_condition_feeders(self):
+        res = defuse_elimination(
+            parse_program(
+                """
+                graph
+                block s -> 1
+                block 1 { c := 1; branch c > 0 } -> 2, 3
+                block 2 { out(x) } -> e
+                block 3 {} -> e
+                block e
+                """
+            )
+        )
+        assert "c := 1" in all_statement_texts(res.graph)
+
+
+class TestAgreesWithFaintElimination:
+    """The paper: optimistic def-use marking detects every faint
+    assignment — i.e. it coincides with fce."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_structured(self, seed):
+        g = random_structured_program(seed, size=18)
+        assert defuse_elimination(g).graph == fce_only(g).graph
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_arbitrary(self, seed):
+        g = random_arbitrary_graph(seed, n_blocks=9)
+        assert defuse_elimination(g).graph == fce_only(g).graph

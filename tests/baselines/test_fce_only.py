@@ -1,0 +1,49 @@
+"""Unit tests for the faint-code-elimination baseline."""
+
+import pytest
+
+from repro.baselines import dce_only, fce_only
+from repro.ir.parser import parse_program
+from repro.workloads import random_structured_program
+
+from ..helpers import all_statement_texts, assert_semantics_preserved
+
+FIG9 = """
+graph
+block s -> 1
+block 1 {} -> 2
+block 2 { x := x + 1 } -> 2, 3
+block 3 { out(y) } -> e
+block e
+"""
+
+
+class TestFceOnly:
+    def test_removes_faint_loop(self):
+        res = fce_only(parse_program(FIG9))
+        assert "x := x + 1" not in all_statement_texts(res.graph)
+
+    def test_strictly_stronger_than_dce_only(self):
+        g = parse_program(FIG9)
+        assert fce_only(g).graph.instruction_count() < dce_only(g).graph.instruction_count()
+
+    def test_single_pass_suffices_on_figure12(self):
+        res = fce_only(
+            parse_program(
+                "graph\nblock s -> 1\n"
+                "block 1 { a := 2; y := a + b; y := c + d; out(y) } -> e\nblock e"
+            )
+        )
+        assert res.eliminated == 2
+        assert res.passes <= 2  # one removing pass + one fixpoint check
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_semantics_preserved_on_random_programs(self, seed):
+        g = random_structured_program(seed, size=16)
+        res = fce_only(g)
+        assert_semantics_preserved(res.original, res.graph)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_removes_at_least_what_dce_removes(self, seed):
+        g = random_structured_program(seed, size=16)
+        assert fce_only(g).graph.instruction_count() <= dce_only(g).graph.instruction_count()

@@ -1,0 +1,133 @@
+"""Unit tests for the Briggs/Cooper-style naive sinking baseline."""
+
+import pytest
+
+from repro.baselines import naive_sinking
+from repro.ir.parser import parse_program
+from repro.workloads import random_structured_program
+
+from ..helpers import assert_semantics_preserved, statements_of
+
+# Figure 6 situation: the only use of x := a+b sits inside a loop.
+FIG6_TAIL = """
+graph
+block s -> 1
+block 1 { x := a + b } -> 5
+block 5 {} -> 7, 10
+block 7 { y := y + x } -> 5
+block 10 { out(y) } -> e
+block e
+"""
+
+
+class TestMovesIntoLoops:
+    def test_sinks_to_the_use_inside_the_loop(self):
+        res = naive_sinking(parse_program(FIG6_TAIL))
+        assert statements_of(res.graph, "1") == []
+        assert statements_of(res.graph, "7")[0] == "x := a + b"
+        assert res.passes == 1
+
+    def test_impairs_looping_executions(self):
+        from repro.interp import DecisionSequence, execute
+
+        res = naive_sinking(parse_program(FIG6_TAIL))
+        # Iterate the loop 5 times, then exit: 0,0,0,0,0 then 1.
+        decisions = [0, 0, 0, 0, 0, 1]
+        before = execute(res.original, decisions=DecisionSequence(list(decisions)))
+        after = execute(res.graph, decisions=DecisionSequence(list(decisions)))
+        assert after.outputs == before.outputs  # semantics intact
+        assert after.executed["x := a + b"] == 5
+        assert before.executed["x := a + b"] == 1
+
+
+class TestSoundnessGuards:
+    def test_no_move_without_dominance(self):
+        g = parse_program(
+            """
+            graph
+            block s -> 1, 2
+            block 1 { x := a + b } -> 3
+            block 2 {} -> 3
+            block 3 { out(x) } -> e
+            block e
+            """
+        )
+        res = naive_sinking(g)
+        assert statements_of(res.graph, "1") == ["x := a + b"]
+
+    def test_no_move_past_operand_modification(self):
+        g = parse_program(
+            """
+            graph
+            block s -> 1
+            block 1 { x := a + b } -> 2
+            block 2 { a := 0 } -> 3
+            block 3 { out(x) } -> e
+            block e
+            """
+        )
+        res = naive_sinking(g)
+        assert statements_of(res.graph, "1") == ["x := a + b"]
+
+    def test_no_move_with_multiple_defs(self):
+        g = parse_program(
+            """
+            graph
+            block s -> 1
+            block 1 { x := a + b } -> 2, 3
+            block 2 { x := 1 } -> 4
+            block 3 {} -> 4
+            block 4 { out(x) } -> e
+            block e
+            """
+        )
+        res = naive_sinking(g)
+        assert "x := a + b" in statements_of(res.graph, "1")
+
+    def test_no_move_of_globals(self):
+        g = parse_program(
+            """
+            graph
+            globals gx;
+            block s -> 1
+            block 1 { gx := a + b } -> 2
+            block 2 { out(gx) } -> e
+            block e
+            """
+        )
+        res = naive_sinking(g)
+        assert statements_of(res.graph, "1") == ["gx := a + b"]
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_semantics_preserved_on_random_programs(self, seed):
+        g = random_structured_program(seed, size=16)
+        res = naive_sinking(g)
+        assert_semantics_preserved(res.original, res.graph)
+
+    def test_no_move_when_the_loop_clobbers_the_operand(self):
+        # Regression (fuzzer seed 20104): v1 := v4 must not enter a loop
+        # whose use statement overwrites v4 — the moved definition would
+        # re-execute each iteration with a *different* operand value,
+        # turning the arithmetic accumulation geometric.
+        g = parse_program(
+            """
+            graph
+            block s -> 1
+            block 1 { v1 := v4 } -> 2
+            block 2 { out(v4); v4 := v4 + v1 } -> 2, 3
+            block 3 {} -> e
+            block e
+            """
+        )
+        res = naive_sinking(g)
+        assert statements_of(res.graph, "1") == ["v1 := v4"]
+        from ..helpers import assert_semantics_preserved as check
+
+        check(res.original, res.graph, seeds=range(8))
+
+    def test_fuzzer_seed_20104_regression(self):
+        from repro.workloads import random_arbitrary_graph
+
+        g = random_arbitrary_graph(20104, n_blocks=9)
+        res = naive_sinking(g)
+        assert_semantics_preserved(res.original, res.graph, seeds=range(8))

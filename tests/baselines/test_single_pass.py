@@ -1,0 +1,66 @@
+"""Unit tests for the single-pass (no second-order effects) baseline."""
+
+import pytest
+
+from repro.baselines import single_pass_pde
+from repro.core import pde
+from repro.core.optimality import is_better_or_equal
+from repro.ir.parser import parse_program
+from repro.workloads import random_structured_program
+
+from ..helpers import all_statement_texts, assert_semantics_preserved
+
+# Figure 10: needs a sinking-sinking chain a single pass cannot follow.
+FIG10 = """
+graph
+block s -> 1
+block 1 { y := a + b } -> 2
+block 2 { a := c } -> 3, 4
+block 3 { y := 5 } -> 5
+block 4 {} -> 5
+block 5 { x := a + c } -> 6
+block 6 { out(x + y) } -> e
+block e
+"""
+
+
+class TestSinglePass:
+    def test_handles_first_order_cases(self):
+        res = single_pass_pde(
+            parse_program(
+                """
+                graph
+                block s -> 1
+                block 1 { y := a + b } -> 2, 3
+                block 2 {} -> 4
+                block 3 { y := 4 } -> 4
+                block 4 { out(y) } -> e
+                block e
+                """
+            )
+        )
+        # One ask + one dce suffice for the Figure 1 pattern.
+        texts = all_statement_texts(res.graph)
+        assert texts.count("y := a + b") == 1
+
+    def test_misses_second_order_effects(self):
+        weak = single_pass_pde(parse_program(FIG10))
+        strong = pde(parse_program(FIG10))
+        outcome_texts = all_statement_texts(weak.graph)
+        # y := a+b is still executed on the path through the redefinition.
+        assert outcome_texts.count("y := a + b") >= 1
+        assert is_better_or_equal(strong.graph, weak.graph)
+        assert not is_better_or_equal(weak.graph, strong.graph)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_semantics_preserved(self, seed):
+        g = random_structured_program(seed, size=16)
+        res = single_pass_pde(g)
+        assert_semantics_preserved(res.original, res.graph)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_pde_always_at_least_as_good(self, seed):
+        g = random_structured_program(seed, size=14, max_depth=1)
+        weak = single_pass_pde(g)
+        strong = pde(g)
+        assert is_better_or_equal(strong.graph, weak.graph, max_edge_repeats=1)

@@ -1,0 +1,50 @@
+"""Unit tests for the bytecode ISA."""
+
+import pytest
+
+from repro.codegen.isa import Instruction, OPCODES, format_instruction, format_listing
+
+
+class TestInstruction:
+    def test_valid_construction(self):
+        inst = Instruction("ADD", ("x", "a", "b"))
+        assert str(inst) == "ADD x, a, b"
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError, match="unknown opcode"):
+            Instruction("FROB", ())
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError, match="expects"):
+            Instruction("MOV", ("x",))
+
+    def test_select_requires_three_targets(self):
+        Instruction("SELECT", (1, 2, 3))
+        with pytest.raises(ValueError, match="at least 3"):
+            Instruction("SELECT", (1, 2))
+
+    def test_halt_takes_no_operands(self):
+        assert str(Instruction("HALT")) == "HALT"
+
+    def test_immutable(self):
+        inst = Instruction("OUT", ("x",))
+        with pytest.raises(Exception):
+            inst.opcode = "HALT"  # type: ignore[misc]
+
+
+class TestFormatting:
+    def test_listing_shows_indices_and_origins(self):
+        listing = format_listing(
+            [
+                Instruction("LOADI", ("x", 1), source_block="b1"),
+                Instruction("HALT"),
+            ]
+        )
+        lines = listing.splitlines()
+        assert lines[0].startswith("   0: LOADI x, 1")
+        assert "; b1" in lines[0]
+        assert lines[1].strip().startswith("1: HALT")
+
+    def test_every_opcode_has_a_shape(self):
+        for opcode, shape in OPCODES.items():
+            assert isinstance(shape, tuple)

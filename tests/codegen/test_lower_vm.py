@@ -1,0 +1,147 @@
+"""Tests for lowering and the VM — including the differential oracle
+against the source-level interpreter."""
+
+import random
+
+import pytest
+
+from repro.codegen import format_listing, lower, run_bytecode
+from repro.core import pde
+from repro.interp import DecisionSequence, InterpreterError, execute
+from repro.ir.parser import parse_program
+from repro.workloads import random_arbitrary_graph, random_structured_program
+
+
+class TestLowering:
+    def test_straight_line(self):
+        program = lower(parse_program("x := 2; out(x + 1);"))
+        run = run_bytecode(program)
+        assert run.outputs == [3]
+
+    def test_block_offsets_recorded(self):
+        program = lower(parse_program("x := 1; out(x);"))
+        assert "s" in program.block_offsets
+        assert "e" in program.block_offsets
+
+    def test_fall_through_avoids_redundant_jumps(self):
+        program = lower(parse_program("x := 1; y := 2; out(x + y);"))
+        opcodes = [inst.opcode for inst in program]
+        assert "JMP" not in opcodes  # pure straight line lays out flat
+
+    def test_conditional_branch(self):
+        source = "if (x > 0) { out(1); } else { out(2); }"
+        program = lower(parse_program(source))
+        assert run_bytecode(program, {"x": 5}).outputs == [1]
+        assert run_bytecode(program, {"x": -5}).outputs == [2]
+
+    def test_nondeterministic_branch_consumes_oracle(self):
+        program = lower(parse_program("if ? { out(1); } else { out(2); }"))
+        assert run_bytecode(program, decisions=DecisionSequence([0])).outputs == [1]
+        assert run_bytecode(program, decisions=DecisionSequence([1])).outputs == [2]
+
+    def test_choose_without_oracle_raises(self):
+        program = lower(parse_program("if ? { out(1); } else { out(2); }"))
+        with pytest.raises(InterpreterError):
+            run_bytecode(program)
+
+    def test_loop(self):
+        program = lower(parse_program("i := 3; while (i > 0) { i := i - 1; } out(i);"))
+        run = run_bytecode(program)
+        assert run.outputs == [0]
+        assert run.per_opcode["SUB"] == 3
+
+    def test_multiway_branch_select(self):
+        g = parse_program(
+            """
+            graph
+            block s -> 1
+            block 1 {} -> 2, 3, 4
+            block 2 { out(2) } -> e
+            block 3 { out(3) } -> e
+            block 4 { out(4) } -> e
+            block e
+            """
+        )
+        program = lower(g)
+        for decision, expected in ((0, 2), (1, 3), (2, 4), (5, 4)):
+            run = run_bytecode(program, decisions=DecisionSequence([decision]))
+            assert run.outputs == [expected]
+
+    def test_division_traps(self):
+        run = run_bytecode(lower(parse_program("out(1); x := 1 / z; out(2);")))
+        assert run.outputs == [1]
+        assert run.trap == "division by zero"
+
+    def test_truncating_division_matches_source(self):
+        run = run_bytecode(lower(parse_program("out(0 - 7 / 2); out((0 - 7) % 2);")))
+        assert run.outputs == [-3, -1]
+
+    def test_step_limit(self):
+        program = lower(parse_program("while (1 > 0) { x := x + 1; }"))
+        with pytest.raises(InterpreterError):
+            run_bytecode(program, max_steps=100)
+
+    def test_listing_is_printable(self):
+        text = format_listing(lower(parse_program("out(x);")))
+        assert "OUT" in text and "HALT" in text
+
+
+class TestDifferentialOracle:
+    """Compiled execution must match source interpretation exactly."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_structured(self, seed):
+        self._compare(random_structured_program(seed, size=14), seed)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_arbitrary(self, seed):
+        self._compare(random_arbitrary_graph(seed, n_blocks=8), seed)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_optimised_programs(self, seed):
+        graph = random_structured_program(seed, size=14)
+        self._compare(pde(graph).graph, seed)
+
+    @staticmethod
+    def _compare(graph, seed):
+        program = lower(graph)
+        rng = random.Random(seed)
+        for _ in range(4):
+            decisions = [rng.randint(0, 5) for _ in range(300)]
+            env = {v: rng.randint(-3, 3) for v in graph.variables()}
+            try:
+                src = execute(
+                    graph, dict(env), DecisionSequence(list(decisions)), max_steps=3000
+                )
+                vm = run_bytecode(
+                    program, dict(env), DecisionSequence(list(decisions)), max_steps=60000
+                )
+            except InterpreterError:
+                continue
+            assert vm.outputs == src.outputs
+            assert (vm.trap is None) == (src.error is None)
+
+
+class TestOptimisationPaysAtMachineLevel:
+    def test_pde_reduces_executed_instructions(self):
+        source = """
+        graph
+        block s -> 1
+        block 1 {} -> 2
+        block 2 { y := a + b; c := y - d } -> 3
+        block 3 {} -> 2, 4
+        block 4 { out(c) } -> e
+        block e
+        """
+        result = pde(parse_program(source))
+        before = lower(result.original)
+        after = lower(result.graph)
+        decisions = [0] * 20 + [1]
+        base = run_bytecode(
+            before, {"a": 1, "b": 2, "d": 3}, DecisionSequence(list(decisions))
+        )
+        new = run_bytecode(
+            after, {"a": 1, "b": 2, "d": 3}, DecisionSequence(list(decisions))
+        )
+        assert new.outputs == base.outputs
+        assert new.executed < base.executed

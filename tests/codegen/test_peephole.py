@@ -1,0 +1,113 @@
+"""Unit and differential tests for the bytecode peephole pass."""
+
+import random
+
+import pytest
+
+from repro.codegen import lower, peephole, run_bytecode
+from repro.codegen.isa import Instruction
+from repro.codegen.lower import BytecodeProgram
+from repro.interp import DecisionSequence, InterpreterError
+from repro.ir.parser import parse_program
+from repro.workloads import random_arbitrary_graph, random_structured_program
+
+
+class TestCoalescing:
+    def test_op_mov_pair_fuses(self):
+        program = lower(parse_program("x := a + b; out(x);"))
+        tight = peephole(program)
+        opcodes = [inst.opcode for inst in tight]
+        assert opcodes == ["ADD", "OUT", "HALT"]
+        assert tight.instructions[0].operands[0] == "x"
+
+    def test_loadi_mov_pair_fuses(self):
+        tight = peephole(lower(parse_program("x := 7; out(x);")))
+        assert [inst.opcode for inst in tight] == ["LOADI", "OUT", "HALT"]
+
+    def test_shared_temp_not_fused(self):
+        # A temp mentioned three times must survive.
+        program = BytecodeProgram(
+            instructions=[
+                Instruction("LOADI", ("$t1", 5)),
+                Instruction("MOV", ("x", "$t1")),
+                Instruction("OUT", ("$t1",)),
+                Instruction("HALT", ()),
+            ]
+        )
+        tight = peephole(program)
+        assert [inst.opcode for inst in tight] == ["LOADI", "MOV", "OUT", "HALT"]
+
+    def test_jump_target_on_the_mov_blocks_fusion(self):
+        program = BytecodeProgram(
+            instructions=[
+                Instruction("JMP", (1,)),
+                Instruction("MOV", ("x", "$t1")),  # jump target
+                Instruction("HALT", ()),
+            ]
+        )
+        # Prepend a defining instruction so the pair would otherwise fuse.
+        program.instructions.insert(0, Instruction("LOADI", ("$t1", 3)))
+        program.instructions[1] = Instruction("JMP", (2,))
+        tight = peephole(program)
+        assert any(inst.opcode == "MOV" for inst in tight)
+
+    def test_self_move_removed(self):
+        program = BytecodeProgram(
+            instructions=[
+                Instruction("MOV", ("x", "x")),
+                Instruction("OUT", ("x",)),
+                Instruction("HALT", ()),
+            ]
+        )
+        tight = peephole(program)
+        assert [inst.opcode for inst in tight] == ["OUT", "HALT"]
+
+    def test_jump_targets_retargeted(self):
+        source = "i := 3; while (i > 0) { i := i - 1; } out(i);"
+        program = lower(parse_program(source))
+        tight = peephole(program)
+        run = run_bytecode(tight)
+        assert run.outputs == [0]
+
+    def test_block_offsets_remapped(self):
+        program = lower(parse_program("x := 1; out(x);"))
+        tight = peephole(program)
+        assert max(tight.block_offsets.values()) <= len(tight)
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_structured(self, seed):
+        self._compare(random_structured_program(seed, size=14), seed)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_arbitrary(self, seed):
+        self._compare(random_arbitrary_graph(seed, n_blocks=8), seed)
+
+    @staticmethod
+    def _compare(graph, seed):
+        plain = lower(graph)
+        tight = peephole(plain)
+        assert len(tight) <= len(plain)
+        rng = random.Random(seed)
+        for _ in range(4):
+            decisions = [rng.randint(0, 5) for _ in range(300)]
+            env = {v: rng.randint(-3, 3) for v in graph.variables()}
+            try:
+                a = run_bytecode(
+                    plain, dict(env), DecisionSequence(list(decisions)), max_steps=60000
+                )
+                b = run_bytecode(
+                    tight, dict(env), DecisionSequence(list(decisions)), max_steps=60000
+                )
+            except InterpreterError:
+                continue
+            assert a.outputs == b.outputs
+            assert a.trap == b.trap
+            assert b.executed <= a.executed
+
+    def test_idempotent(self):
+        program = lower(parse_program("x := a + b; y := x * 2; out(y);"))
+        once = peephole(program)
+        twice = peephole(once)
+        assert [str(i) for i in once] == [str(i) for i in twice]

@@ -1,0 +1,106 @@
+"""Unit tests for the executable Definition 3.2 admissibility check."""
+
+import pytest
+
+from repro.core.admissibility import (
+    AdmissibilityViolation,
+    check_sinking_admissible,
+)
+from repro.core.sink import SinkingReport, assignment_sinking
+from repro.ir.parser import parse_program
+from repro.ir.splitting import split_critical_edges
+
+
+def run_pass(src):
+    before = split_critical_edges(parse_program(src))
+    work = before.copy()
+    report = assignment_sinking(work)
+    return before, work, report
+
+
+FIG1 = """
+graph
+block s -> 1
+block 1 { y := a + b } -> 2, 3
+block 2 {} -> 4
+block 3 { y := 4 } -> 4
+block 4 { out(y) } -> e
+block e
+"""
+
+
+class TestRealPassesAreAdmissible:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            FIG1,
+            # in-loop assignment: back-edge + exit insertions
+            """
+            graph
+            block s -> 1
+            block 1 {} -> 2
+            block 2 { x := a + b } -> 3
+            block 3 {} -> 2, 4
+            block 4 { out(x) } -> e
+            block e
+            """,
+            # m-to-n fusion
+            """
+            graph
+            block s -> 1, 2
+            block 1 { a := a + 1 } -> 3
+            block 2 { out(a); a := a + 1 } -> 3
+            block 3 { out(a + b) } -> e
+            block e
+            """,
+            # drop off the end
+            "graph\nblock s -> 1\nblock 1 { q := 1; out(x) } -> e\nblock e",
+            # global sunk to the end node
+            "graph\nglobals gv;\nblock s -> 1\nblock 1 { gv := a + 1 } -> e\nblock e",
+        ],
+    )
+    def test_ask_pass_is_admissible(self, src):
+        before, _work, report = run_pass(src)
+        check_sinking_admissible(before, report)  # must not raise
+
+
+class TestViolationsDetected:
+    def test_unsubstituted_removal_detected(self):
+        before = split_critical_edges(parse_program(FIG1))
+        # Claim we removed y := a+b but inserted nothing: the use at
+        # node 4 (via 2) is no longer fed — not substituted.
+        report = SinkingReport(removed=[("1", 0, "y := a + b")], inserted=[])
+        with pytest.raises(AdmissibilityViolation, match="not substituted"):
+            check_sinking_admissible(before, report)
+
+    def test_unjustified_insertion_detected(self):
+        before = split_critical_edges(parse_program(FIG1))
+        # Insertion at node 3's entry without any removal anywhere.
+        report = SinkingReport(
+            removed=[], inserted=[("3", "entry", "y := a + b")]
+        )
+        with pytest.raises(AdmissibilityViolation, match="not justified"):
+            check_sinking_admissible(before, report)
+
+    def test_global_dropped_off_the_end_detected(self):
+        before = split_critical_edges(
+            parse_program(
+                "graph\nglobals gv;\nblock s -> 1\nblock 1 { gv := a + 1 } -> e\nblock e"
+            )
+        )
+        report = SinkingReport(removed=[("1", 0, "gv := a + 1")], inserted=[])
+        with pytest.raises(AdmissibilityViolation, match="not substituted"):
+            check_sinking_admissible(before, report)
+
+    def test_bogus_removal_record_detected(self):
+        before = split_critical_edges(parse_program(FIG1))
+        report = SinkingReport(removed=[("2", 0, "y := a + b")], inserted=[])
+        with pytest.raises(AdmissibilityViolation, match="does not point"):
+            check_sinking_admissible(before, report)
+
+    def test_nonglobal_dropped_off_the_end_is_fine(self):
+        before = split_critical_edges(
+            parse_program("graph\nblock s -> 1\nblock 1 { q := 1 } -> e\nblock e")
+        )
+        report = SinkingReport(removed=[("1", 0, "q := 1")], inserted=[])
+        check_sinking_admissible(before, report)  # unused on all paths

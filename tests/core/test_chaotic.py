@@ -1,0 +1,117 @@
+"""Unit tests for chaotic iteration and canonical representatives
+(Theorem 3.7)."""
+
+import pytest
+
+from repro.core.chaotic import (
+    TRANSFORMATIONS,
+    canonicalize,
+    chaotic_iterate,
+    random_fair_schedule,
+)
+from repro.core.driver import pde, pfe
+from repro.ir.builder import block_statements
+from repro.ir.cfg import FlowGraph
+from repro.ir.parser import parse_program
+
+FIG10 = """
+graph
+block s -> 1
+block 1 { y := a + b } -> 2
+block 2 { a := c } -> 3, 4
+block 3 { y := 5 } -> 5
+block 4 {} -> 5
+block 5 { x := a + c } -> 6
+block 6 { out(x + y) } -> e
+block e
+"""
+
+
+class TestChaoticIterate:
+    def test_round_robin_matches_the_driver(self):
+        chaotic = chaotic_iterate(parse_program(FIG10), ("dce", "ask"))
+        driver = pde(parse_program(FIG10))
+        assert canonicalize(chaotic.graph) == canonicalize(driver.graph)
+
+    def test_ask_first_schedule_matches_too(self):
+        chaotic = chaotic_iterate(parse_program(FIG10), ("ask", "dce"))
+        driver = pde(parse_program(FIG10))
+        assert canonicalize(chaotic.graph) == canonicalize(driver.graph)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_fair_schedules_converge(self, seed):
+        family = ("dce", "ask")
+        schedule = random_fair_schedule(family, seed)
+        chaotic = chaotic_iterate(parse_program(FIG10), family, schedule)
+        driver = pde(parse_program(FIG10))
+        assert canonicalize(chaotic.graph) == canonicalize(driver.graph)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_faint_family_converges_to_pfe(self, seed):
+        family = ("fce", "ask")
+        schedule = random_fair_schedule(family, seed)
+        chaotic = chaotic_iterate(parse_program(FIG10), family, schedule)
+        driver = pfe(parse_program(FIG10))
+        assert canonicalize(chaotic.graph) == canonicalize(driver.graph)
+
+    def test_trace_records_applications(self):
+        result = chaotic_iterate(parse_program(FIG10))
+        assert result.trace and set(result.trace) <= {"dce", "ask"}
+        assert result.effective >= 1
+
+    def test_unknown_family_member_rejected(self):
+        with pytest.raises(ValueError):
+            chaotic_iterate(parse_program(FIG10), ("dce", "zap"))
+
+    def test_schedule_outside_family_rejected(self):
+        with pytest.raises(ValueError):
+            chaotic_iterate(parse_program(FIG10), ("dce",), iter(["ask"]))
+
+    def test_transformations_registry_complete(self):
+        assert set(TRANSFORMATIONS) == {"dce", "fce", "ask"}
+
+
+class TestCanonicalize:
+    def _block_graph(self, source: str) -> FlowGraph:
+        g = FlowGraph()
+        g.add_block("1", block_statements(source))
+        g.add_edge("s", "1")
+        g.add_edge("1", "e")
+        return g
+
+    def test_independent_statements_sorted(self):
+        g1 = self._block_graph("x := 1; y := 2")
+        g2 = self._block_graph("y := 2; x := 1")
+        assert canonicalize(g1) == canonicalize(g2)
+
+    def test_dependent_statements_keep_order(self):
+        g = self._block_graph("z := 1; q := z + 1")
+        canonical = canonicalize(g)
+        texts = [str(s) for s in canonical.statements("1")]
+        assert texts == ["z := 1", "q := z + 1"]
+
+    def test_write_write_order_preserved(self):
+        g = self._block_graph("x := 1; x := 2")
+        texts = [str(s) for s in canonicalize(g).statements("1")]
+        assert texts == ["x := 1", "x := 2"]
+
+    def test_relevant_statements_keep_mutual_order(self):
+        g = self._block_graph("out(b); out(a)")
+        texts = [str(s) for s in canonicalize(g).statements("1")]
+        assert texts == ["out(b)", "out(a)"]
+
+    def test_assignment_may_move_past_unrelated_out(self):
+        g1 = self._block_graph("out(b); x := 1")
+        g2 = self._block_graph("x := 1; out(b)")
+        assert canonicalize(g1) == canonicalize(g2)
+
+    def test_idempotent(self):
+        g = self._block_graph("y := 2; x := 1; out(x + y)")
+        once = canonicalize(g)
+        assert canonicalize(once) == once
+
+    def test_semantics_preserved(self):
+        from ..helpers import assert_semantics_preserved
+
+        g = self._block_graph("y := 2; x := 1; out(x + y); q := x")
+        assert_semantics_preserved(g, canonicalize(g))

@@ -1,0 +1,181 @@
+"""Unit tests for the global ``pde`` / ``pfe`` driver (Sections 5.1, 5.4)."""
+
+import pytest
+
+from repro.core.driver import NonTermination, optimize, pde, pfe
+from repro.ir.parser import parse_program
+from repro.ir.validate import validate
+
+from ..helpers import (
+    all_statement_texts,
+    assert_never_slower,
+    assert_semantics_preserved,
+)
+
+FIG1 = """
+graph
+block s -> 1
+block 1 { y := a + b } -> 2, 3
+block 2 {} -> 4
+block 3 { y := 4 } -> 4
+block 4 { x := y + 3; out(x) } -> e
+block e
+"""
+
+
+class TestPde:
+    def test_input_not_mutated(self):
+        g = parse_program(FIG1)
+        before = g.fingerprint()
+        pde(g)
+        assert g.fingerprint() == before
+
+    def test_original_is_the_split_program(self):
+        g = parse_program(FIG1)
+        result = pde(g)
+        validate(result.original, require_split=True)
+        assert result.original.same_shape(result.graph)
+
+    def test_result_is_stable(self):
+        result = pde(parse_program(FIG1))
+        again = pde(result.graph)
+        assert again.graph == result.graph
+        assert again.stats.eliminated == 0
+
+    def test_result_well_formed(self):
+        result = pde(parse_program(FIG1))
+        validate(result.graph, require_split=True)
+
+    def test_statistics_populated(self):
+        result = pde(parse_program(FIG1))
+        stats = result.stats
+        assert stats.rounds >= 1
+        assert stats.component_applications == 2 * stats.rounds
+        assert stats.original_instructions == result.original.instruction_count()
+        assert stats.final_instructions == result.graph.instruction_count()
+        assert stats.peak_instructions >= stats.final_instructions
+        assert stats.code_growth_factor >= 1.0
+        assert stats.analysis_work > 0
+        assert len(stats.history) == stats.rounds
+
+    def test_semantics_preserved_on_figure1(self):
+        result = pde(parse_program(FIG1))
+        assert assert_semantics_preserved(result.original, result.graph) > 0
+        assert_never_slower(result.original, result.graph)
+
+    def test_round_limit_raises(self):
+        with pytest.raises(NonTermination):
+            pde(parse_program(FIG1), max_rounds=0)
+
+    def test_empty_program(self):
+        result = pde(parse_program("skip;"))
+        assert result.stats.eliminated == 0
+
+    def test_globals_survive(self):
+        result = pde(
+            parse_program(
+                "graph\nglobals gv;\nblock s -> 1\nblock 1 { gv := a + 1 } -> e\nblock e"
+            )
+        )
+        assert "gv := a + 1" in all_statement_texts(result.graph)
+
+
+class TestPfe:
+    def test_at_least_as_strong_as_pde(self):
+        src = """
+        graph
+        block s -> 1
+        block 1 {} -> 2
+        block 2 { x := x + 1 } -> 2, 3
+        block 3 { out(y) } -> e
+        block e
+        """
+        d = pde(parse_program(src))
+        f = pfe(parse_program(src))
+        assert f.graph.instruction_count() <= d.graph.instruction_count()
+        assert "x := x + 1" not in all_statement_texts(f.graph)
+
+    def test_faint_methods_agree(self):
+        src = FIG1
+        a = pfe(parse_program(src), faint_method="instruction")
+        b = pfe(parse_program(src), faint_method="block")
+        c = pfe(parse_program(src), faint_method="slot")
+        assert a.graph == b.graph == c.graph
+
+
+class TestOptimizeDispatch:
+    def test_variants(self):
+        g = parse_program(FIG1)
+        assert optimize(g, "pde").variant == "pde"
+        assert optimize(g, "pfe").variant == "pfe"
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            optimize(parse_program(FIG1), "xxx")
+
+
+class TestSecondOrderCoverage:
+    """The four Section 4 effects, end to end."""
+
+    def test_sinking_elimination(self):
+        result = pde(parse_program(FIG1))
+        # y := a+b no longer executes on the redefining path.
+        assert all_statement_texts(result.graph).count("y := a + b") == 1
+
+    def test_sinking_sinking(self):
+        result = pde(
+            parse_program(
+                """
+                graph
+                block s -> 1
+                block 1 { y := a + b } -> 2
+                block 2 { a := c } -> 3, 4
+                block 3 { y := 5 } -> 5
+                block 4 {} -> 5
+                block 5 { x := a + c } -> 6
+                block 6 { out(x + y) } -> e
+                block e
+                """
+            )
+        )
+        texts = all_statement_texts(result.graph)
+        assert texts.count("y := a + b") == 1
+        # y := a+b escaped past the a := c blockade.
+        assert [str(s) for s in result.graph.statements("4")] == ["y := a + b"]
+
+    def test_elimination_sinking(self):
+        result = pde(
+            parse_program(
+                """
+                graph
+                block s -> 1
+                block 1 { y := a + b; a := c } -> 2, 3
+                block 2 { y := 7 } -> 4
+                block 3 {} -> 4
+                block 4 { out(y) } -> e
+                block e
+                """
+            )
+        )
+        texts = all_statement_texts(result.graph)
+        assert "a := c" not in texts
+        assert [str(s) for s in result.graph.statements("3")] == ["y := a + b"]
+
+    def test_elimination_elimination(self):
+        result = pde(
+            parse_program(
+                """
+                graph
+                block s -> 1
+                block 1 { a := 2 } -> 2
+                block 2 {} -> 3, 4
+                block 3 {} -> 5
+                block 4 { y := a + b } -> 5
+                block 5 { y := c + d } -> 6
+                block 6 { out(y) } -> e
+                block e
+                """
+            )
+        )
+        texts = all_statement_texts(result.graph)
+        assert "a := 2" not in texts and "y := a + b" not in texts

@@ -1,0 +1,144 @@
+"""Unit tests for the elimination step (``dce`` / ``fce``, Section 5.2)."""
+
+from repro.core.eliminate import dead_code_elimination, faint_code_elimination
+from repro.ir.parser import parse_program
+
+from ..helpers import all_statement_texts
+
+
+def graph(src):
+    return parse_program(src)
+
+
+class TestDeadCodeElimination:
+    def test_removes_totally_dead_assignment(self):
+        g = graph("graph\nblock s -> 1\nblock 1 { q := 1; out(x) } -> e\nblock e")
+        report = dead_code_elimination(g)
+        assert report.changed and len(report) == 1
+        assert report.removed == [("1", 0, "q := 1")]
+        assert "q := 1" not in all_statement_texts(g)
+
+    def test_keeps_live_assignment(self):
+        g = graph("graph\nblock s -> 1\nblock 1 { x := 1; out(x) } -> e\nblock e")
+        report = dead_code_elimination(g)
+        assert not report.changed
+        assert "x := 1" in all_statement_texts(g)
+
+    def test_keeps_partially_dead_assignment(self):
+        g = graph(
+            """
+            graph
+            block s -> 1
+            block 1 { y := a + b } -> 2, 3
+            block 2 { out(y) } -> 4
+            block 3 { y := 4; out(y) } -> 4
+            block 4 {} -> e
+            block e
+            """
+        )
+        report = dead_code_elimination(g)
+        assert not report.changed  # dead on one path only — out of scope
+
+    def test_batch_removal_of_overwritten_chain(self):
+        g = graph(
+            "graph\nblock s -> 1\nblock 1 { x := 1; x := 2; x := 3; out(x) } -> e\nblock e"
+        )
+        report = dead_code_elimination(g)
+        assert len(report) == 2
+        assert all_statement_texts(g) == ["x := 3", "out(x)"]
+
+    def test_second_order_needs_two_passes(self):
+        # Figure 12: removing y := a+b exposes the deadness of a := 2.
+        g = graph(
+            """
+            graph
+            block s -> 1
+            block 1 { a := 2; y := a + b; y := c + d; out(y) } -> e
+            block e
+            """
+        )
+        first = dead_code_elimination(g)
+        assert [p for (_, _, p) in first.removed] == ["y := a + b"]
+        second = dead_code_elimination(g)
+        assert [p for (_, _, p) in second.removed] == ["a := 2"]
+        third = dead_code_elimination(g)
+        assert not third.changed
+
+    def test_keeps_self_increment_in_loop(self):
+        g = graph(
+            """
+            graph
+            block s -> 1
+            block 1 {} -> 2
+            block 2 { x := x + 1 } -> 2, 3
+            block 3 { out(y) } -> e
+            block e
+            """
+        )
+        assert not dead_code_elimination(g).changed
+
+    def test_keeps_global_assignments(self):
+        g = graph(
+            "graph\nglobals gv;\nblock s -> 1\nblock 1 { gv := 1 } -> e\nblock e"
+        )
+        assert not dead_code_elimination(g).changed
+
+    def test_analysis_work_reported(self):
+        g = graph("graph\nblock s -> 1\nblock 1 { q := 1 } -> e\nblock e")
+        assert dead_code_elimination(g).analysis_work > 0
+
+
+class TestFaintCodeElimination:
+    def test_removes_faint_loop_increment(self):
+        g = graph(
+            """
+            graph
+            block s -> 1
+            block 1 {} -> 2
+            block 2 { x := x + 1 } -> 2, 3
+            block 3 { out(y) } -> e
+            block e
+            """
+        )
+        report = faint_code_elimination(g)
+        assert [p for (_, _, p) in report.removed] == ["x := x + 1"]
+
+    def test_removes_mutually_useless_pair_in_one_pass(self):
+        # Figure 12 is first-order for faint code elimination.
+        g = graph(
+            """
+            graph
+            block s -> 1
+            block 1 { a := 2; y := a + b; y := c + d; out(y) } -> e
+            block e
+            """
+        )
+        report = faint_code_elimination(g)
+        assert sorted(p for (_, _, p) in report.removed) == ["a := 2", "y := a + b"]
+        assert not faint_code_elimination(g).changed
+
+    def test_block_method_gives_same_result(self):
+        src = """
+        graph
+        block s -> 1
+        block 1 { a := 2; y := a + b; y := c + d; out(y) } -> e
+        block e
+        """
+        g1, g2 = graph(src), graph(src)
+        faint_code_elimination(g1, method="instruction")
+        faint_code_elimination(g2, method="block")
+        assert g1 == g2
+
+    def test_strictly_stronger_than_dce(self):
+        src = """
+        graph
+        block s -> 1
+        block 1 {} -> 2
+        block 2 { x := x + 1 } -> 2, 3
+        block 3 { out(y) } -> e
+        block e
+        """
+        g_dce, g_fce = graph(src), graph(src)
+        dead_code_elimination(g_dce)
+        faint_code_elimination(g_fce)
+        assert g_dce.instruction_count() > g_fce.instruction_count()

@@ -1,0 +1,87 @@
+"""Unit tests for the Definition 3.6 'better' pre-order."""
+
+import pytest
+
+from repro.core.driver import pde
+from repro.core.optimality import (
+    compare,
+    is_better_or_equal,
+    path_pattern_counts,
+    total_executable_statements,
+)
+from repro.ir.parser import parse_program
+from repro.ir.splitting import split_critical_edges
+
+FIG1 = """
+graph
+block s -> 1
+block 1 { y := a + b } -> 2, 3
+block 2 {} -> 4
+block 3 { y := 4 } -> 4
+block 4 { x := y + 3; out(x) } -> e
+block e
+"""
+
+
+class TestPathPatternCounts:
+    def test_counts_occurrences_along_path(self):
+        g = parse_program(FIG1)
+        counts = path_pattern_counts(g, ("s", "1", "3", "4", "e"))
+        assert counts == {"y := a + b": 1, "y := 4": 1, "x := y + 3": 1}
+
+    def test_multiplicity_counted(self):
+        g = parse_program(FIG1)
+        counts = path_pattern_counts(g, ("1", "1"))
+        assert counts["y := a + b"] == 2
+
+
+class TestCompare:
+    def test_program_equivalent_to_itself(self):
+        g = split_critical_edges(parse_program(FIG1))
+        outcome = compare(g, g)
+        assert outcome.equivalent
+
+    def test_pde_result_strictly_better_than_original(self):
+        result = pde(parse_program(FIG1))
+        outcome = compare(result.graph, result.original)
+        assert outcome.strictly_better
+        assert is_better_or_equal(result.graph, result.original)
+        assert not is_better_or_equal(result.original, result.graph)
+
+    def test_witness_produced_for_the_worse_program(self):
+        result = pde(parse_program(FIG1))
+        outcome = compare(result.original, result.graph)
+        assert not outcome.first_better_or_equal
+        path, pattern, a, b = outcome.witness
+        assert pattern == "y := a + b" and a > b
+
+    def test_incomparable_programs(self):
+        g1 = split_critical_edges(parse_program(FIG1))
+        g2 = g1.copy()
+        # Swap work between branches: 2 gains a pattern, 3 loses one.
+        from repro.ir.parser import parse_statement
+
+        g2.set_statements("2", [parse_statement("q := 1")])
+        g2.set_statements("3", [])
+        outcome = compare(g1, g2)
+        assert not outcome.first_better_or_equal
+        assert not outcome.second_better_or_equal
+
+    def test_different_shapes_rejected(self):
+        g1 = parse_program(FIG1)
+        g2 = parse_program(FIG1)
+        g2.add_block("extra")
+        g2.add_edge("4", "extra")
+        g2.add_edge("extra", "e")
+        with pytest.raises(ValueError):
+            compare(g1, g2)
+
+
+class TestDynamicCounts:
+    def test_total_executable_statements_drop_after_pde(self):
+        result = pde(parse_program(FIG1))
+        before = total_executable_statements(result.original)
+        after = total_executable_statements(result.graph)
+        assert len(before) == len(after)  # same path family
+        assert all(a <= b for a, b in zip(after, before))
+        assert sum(after) < sum(before)

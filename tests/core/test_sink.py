@@ -1,0 +1,162 @@
+"""Unit tests for the assignment sinking step (``ask``, Section 5.3)."""
+
+import pytest
+
+from repro.core.sink import SinkingError, _check_independence, assignment_sinking
+from repro.dataflow.patterns import PatternInfo
+from repro.ir.parser import parse_program, parse_statement
+from repro.ir.splitting import split_critical_edges
+
+from ..helpers import statements_of
+
+
+def sink(src):
+    g = split_critical_edges(parse_program(src))
+    report = assignment_sinking(g)
+    return g, report
+
+
+class TestBasicSinking:
+    def test_moves_past_a_fork_onto_both_branches(self):
+        g, report = sink(
+            """
+            graph
+            block s -> 1
+            block 1 { y := a + b } -> 2, 3
+            block 2 { out(y) } -> 4
+            block 3 { y := 4; out(y) } -> 4
+            block 4 {} -> e
+            block e
+            """
+        )
+        assert ("1", 0, "y := a + b") in report.removed
+        assert statements_of(g, "2")[0] == "y := a + b"  # before the use
+        assert statements_of(g, "3")[0] == "y := a + b"  # before the redef
+        assert report.changed
+
+    def test_sinks_within_a_block_to_the_end(self):
+        g, report = sink(
+            """
+            graph
+            block s -> 1
+            block 1 { y := a + b; q := c } -> 2
+            block 2 { out(y); out(q) } -> e
+            block e
+            """
+        )
+        # Both flow into block 2 (blocked there by the uses).
+        assert statements_of(g, "1") == []
+        assert statements_of(g, "2")[:2] in (
+            ["q := c", "y := a + b"],
+            ["y := a + b", "q := c"],
+        )
+
+    def test_drops_assignment_delayable_to_the_end(self):
+        g, report = sink(
+            "graph\nblock s -> 1\nblock 1 { q := 1; out(x) } -> e\nblock e"
+        )
+        assert ("1", 0, "q := 1") in report.removed
+        assert "q := 1" not in statements_of(g, "1") + statements_of(g, "e")
+
+    def test_globals_are_not_dropped(self):
+        g, report = sink(
+            "graph\nglobals gv;\nblock s -> 1\nblock 1 { gv := a + 1 } -> e\nblock e"
+        )
+        # The global sinks to the entry of e but survives.
+        texts = statements_of(g, "1") + statements_of(g, "e")
+        assert "gv := a + 1" in texts
+
+    def test_stable_block_unchanged(self):
+        g, report = sink(
+            "graph\nblock s -> 1\nblock 1 { x := 1; out(x) } -> e\nblock e"
+        )
+        assert not report.changed
+        assert statements_of(g, "1") == ["x := 1", "out(x)"]
+
+
+class TestLoopBehaviour:
+    def test_never_sinks_into_a_loop(self):
+        g, report = sink(
+            """
+            graph
+            block s -> 1
+            block 1 { x := a + b } -> 2
+            block 2 { q := q + 1 } -> 3
+            block 3 {} -> 2, 4
+            block 4 { out(x) } -> e
+            block e
+            """
+        )
+        # The assignment crosses the loop in one pass: removed from 1,
+        # inserted at the entry of 4, never inside 2/3.
+        assert "x := a + b" not in statements_of(g, "2") + statements_of(g, "3")
+        assert statements_of(g, "4")[0] == "x := a + b"
+
+    def test_in_loop_assignment_moves_to_loop_exit_and_back_edge(self):
+        g, report = sink(
+            """
+            graph
+            block s -> 1
+            block 1 {} -> 2
+            block 2 { x := a + b } -> 3
+            block 3 {} -> 2, 4
+            block 4 { out(x) } -> e
+            block e
+            """
+        )
+        # Removed from the body, reinserted on the back edge (keeping
+        # iteration semantics) and before the use at the exit.
+        assert statements_of(g, "2") == []
+        assert statements_of(g, "S3_2") == ["x := a + b"]
+        assert statements_of(g, "4")[0] == "x := a + b"
+
+
+class TestMToN:
+    def test_merges_occurrences_across_a_join(self):
+        g, report = sink(
+            """
+            graph
+            block s -> 1, 2
+            block 1 { a := a + 1 } -> 3
+            block 2 { out(a); a := a + 1 } -> 3
+            block 3 { out(a + b) } -> e
+            block e
+            """
+        )
+        removed_blocks = {b for (b, _, p) in report.removed if p == "a := a + 1"}
+        assert removed_blocks == {"1", "2"}
+        inserted = [(b, w) for (b, w, p) in report.inserted if p == "a := a + 1"]
+        assert inserted == [("3", "entry")]
+
+
+class TestIndependence:
+    def test_independent_patterns_pass(self):
+        infos = [
+            PatternInfo.of(parse_statement("x := a + b")),
+            PatternInfo.of(parse_statement("y := c + d")),
+        ]
+        _check_independence(infos, "test")  # must not raise
+
+    def test_same_lhs_conflicts(self):
+        infos = [
+            PatternInfo.of(parse_statement("x := a")),
+            PatternInfo.of(parse_statement("x := b")),
+        ]
+        with pytest.raises(SinkingError):
+            _check_independence(infos, "test")
+
+    def test_def_use_chain_conflicts(self):
+        infos = [
+            PatternInfo.of(parse_statement("x := a")),
+            PatternInfo.of(parse_statement("y := x + 1")),
+        ]
+        with pytest.raises(SinkingError):
+            _check_independence(infos, "test")
+
+
+class TestReportContents:
+    def test_analysis_work_positive(self):
+        _g, report = sink(
+            "graph\nblock s -> 1\nblock 1 { x := 1; out(x) } -> e\nblock e"
+        )
+        assert report.analysis_work > 0

@@ -1,0 +1,54 @@
+"""Unit tests for the driver's trace mode."""
+
+from repro.core import pde, pfe
+from repro.ir.parser import parse_program
+
+FIG1 = """
+graph
+block s -> 1
+block 1 { y := a + b } -> 2, 3
+block 2 {} -> 4
+block 3 { y := 4 } -> 4
+block 4 { out(y) } -> e
+block e
+"""
+
+
+class TestTrace:
+    def test_snapshots_absent_by_default(self):
+        result = pde(parse_program(FIG1))
+        assert all(
+            record.after_elimination is None and record.after_sinking is None
+            for record in result.stats.history
+        )
+
+    def test_snapshots_present_with_trace(self):
+        result = pde(parse_program(FIG1), trace=True)
+        assert result.stats.history
+        for record in result.stats.history:
+            assert record.after_elimination is not None
+            assert record.after_sinking is not None
+
+    def test_last_snapshot_is_the_result(self):
+        result = pde(parse_program(FIG1), trace=True)
+        assert result.stats.history[-1].after_sinking == result.graph
+
+    def test_snapshots_chain_consistently(self):
+        result = pde(parse_program(FIG1), trace=True)
+        previous = result.original
+        for record in result.stats.history:
+            # Elimination only removes; sinking moves.
+            assert (
+                record.after_elimination.instruction_count()
+                <= previous.instruction_count()
+            )
+            previous = record.after_sinking
+
+    def test_trace_does_not_change_the_result(self):
+        plain = pde(parse_program(FIG1))
+        traced = pde(parse_program(FIG1), trace=True)
+        assert plain.graph == traced.graph
+
+    def test_pfe_trace(self):
+        result = pfe(parse_program(FIG1), trace=True)
+        assert result.stats.history[-1].after_sinking == result.graph

@@ -1,0 +1,119 @@
+"""Unit tests for the self-checking optimisation wrapper."""
+
+import pytest
+
+from repro.core import pde
+from repro.core.verify import (
+    VerificationError,
+    verified_pde,
+    verified_pfe,
+)
+from repro.ir.parser import parse_program
+from repro.workloads import peel_chain, random_structured_program
+
+FIG1 = """
+graph
+block s -> 1
+block 1 { y := a + b } -> 2, 3
+block 2 {} -> 4
+block 3 { y := 4 } -> 4
+block 4 { out(y) } -> e
+block e
+"""
+
+
+class TestVerifiedRuns:
+    def test_matches_plain_pde(self):
+        plain = pde(parse_program(FIG1))
+        checked = verified_pde(parse_program(FIG1))
+        assert checked.graph == plain.graph
+
+    def test_report_attached(self):
+        result = verified_pde(parse_program(FIG1))
+        report = result.verification
+        assert report is not None
+        assert "admissibility" in report.oracles
+        assert "semantics" in report.oracles
+        assert "idempotence" in report.oracles
+        assert report.replayed_executions > 0
+
+    def test_optimality_oracle_runs_on_small_graphs(self):
+        result = verified_pde(parse_program(FIG1))
+        assert result.verification.paths_compared
+        assert "optimality" in result.verification.oracles
+
+    def test_pfe_variant(self):
+        result = verified_pfe(parse_program(FIG1))
+        assert result.variant == "pfe"
+        assert result.verification is not None
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_programs_verify(self, seed):
+        result = verified_pde(random_structured_program(seed, size=14))
+        assert result.verification is not None
+
+    def test_adversarial_family_verifies(self):
+        result = verified_pde(peel_chain(5))
+        assert result.stats.rounds == 7
+        assert result.verification is not None
+
+
+class TestVerificationErrorShape:
+    def test_error_names_the_oracle(self):
+        error = VerificationError("semantics", "details here")
+        assert error.oracle == "semantics"
+        assert "[semantics]" in str(error)
+
+
+class TestTheOraclesHaveTeeth:
+    """Corrupted results must be rejected, not waved through."""
+
+    @staticmethod
+    def _fake_result(original, graph):
+        from repro.core.driver import OptimizationResult, OptimizationStats
+
+        return OptimizationResult(
+            original=original, graph=graph, stats=OptimizationStats(), variant="pde"
+        )
+
+    def test_replay_rejects_changed_outputs(self):
+        from repro.core.verify import _replay
+        from repro.ir.parser import parse_statement
+
+        original = parse_program(FIG1)
+        from repro.ir.splitting import split_critical_edges
+
+        original = split_critical_edges(original)
+        corrupted = original.copy()
+        corrupted.set_statements("4", [parse_statement("out(y + 1)")])
+        with pytest.raises(VerificationError) as info:
+            _replay(self._fake_result(original, corrupted), replay_seeds=5)
+        assert info.value.oracle == "semantics"
+
+    def test_replay_rejects_introduced_errors(self):
+        from repro.core.verify import _replay
+        from repro.ir.parser import parse_statement
+        from repro.ir.splitting import split_critical_edges
+
+        original = split_critical_edges(parse_program(FIG1))
+        corrupted = original.copy()
+        corrupted.set_statements(
+            "4", [parse_statement("q := 1 / zero"), parse_statement("out(y)")]
+        )
+        with pytest.raises(VerificationError):
+            _replay(self._fake_result(original, corrupted), replay_seeds=5)
+
+    def test_replay_rejects_slower_programs(self):
+        from repro.core.verify import _replay
+        from repro.ir.parser import parse_statement
+        from repro.ir.splitting import split_critical_edges
+
+        original = split_critical_edges(parse_program(FIG1))
+        slower = original.copy()
+        stmts = list(slower.statements("2"))
+        slower.set_statements(
+            "2", stmts + [parse_statement("pad := 1"), parse_statement("pad := 2")]
+        )
+        with pytest.raises(VerificationError) as info:
+            _replay(self._fake_result(original, slower), replay_seeds=5)
+        assert info.value.oracle == "never-slower"

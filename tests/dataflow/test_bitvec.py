@@ -1,0 +1,46 @@
+"""Unit tests for the named bit-vector universe."""
+
+import pytest
+
+from repro.dataflow.bitvec import Universe
+
+
+class TestUniverse:
+    def test_bit_positions_follow_order(self):
+        u = Universe(["a", "b", "c"])
+        assert u.bit("a") == 1 and u.bit("b") == 2 and u.bit("c") == 4
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            Universe(["a", "a"])
+
+    def test_full_mask(self):
+        assert Universe(["a", "b", "c"]).full == 0b111
+        assert Universe([]).full == 0
+
+    def test_mask_ignores_unknown_names(self):
+        u = Universe(["a", "b"])
+        assert u.mask(["a", "zzz"]) == u.bit("a")
+
+    def test_members_in_universe_order(self):
+        u = Universe(["a", "b", "c"])
+        assert u.members(0b101) == ("a", "c")
+
+    def test_test(self):
+        u = Universe(["a", "b"])
+        assert u.test(0b10, "b") and not u.test(0b10, "a")
+
+    def test_format(self):
+        u = Universe(["x", "y"])
+        assert u.format(0b11) == "{x, y}"
+        assert u.format(0) == "{}"
+
+    def test_contains_and_iter(self):
+        u = Universe(["p", "q"])
+        assert "p" in u and "z" not in u
+        assert list(u) == ["p", "q"]
+        assert len(u) == 2
+
+    def test_index(self):
+        u = Universe(["p", "q"])
+        assert u.index("q") == 1

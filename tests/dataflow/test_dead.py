@@ -1,0 +1,159 @@
+"""Unit tests for the dead variable analysis (Table 1, left system)."""
+
+from repro.dataflow.dead import analyze_dead
+from repro.ir.parser import parse_program
+
+
+def graph(src):
+    return parse_program(src)
+
+
+class TestStraightLine:
+    def test_variable_dead_after_last_use(self):
+        g = graph(
+            """
+            graph
+            block s -> 1
+            block 1 { x := a + b; out(x) } -> e
+            block e
+            """
+        )
+        dead = analyze_dead(g)
+        after = dead.after_each("1")
+        assert not dead.universe.test(after[0], "x")  # live before out(x)
+        assert dead.universe.test(after[1], "x")  # dead afterwards
+
+    def test_redefinition_makes_earlier_value_dead(self):
+        g = graph(
+            """
+            graph
+            block s -> 1
+            block 1 { x := 1; x := 2; out(x) } -> e
+            block e
+            """
+        )
+        dead = analyze_dead(g)
+        assert dead.is_dead_after("1", 0, "x")
+        assert not dead.is_dead_after("1", 1, "x")
+
+    def test_rhs_use_keeps_operands_alive(self):
+        g = graph(
+            """
+            graph
+            block s -> 1
+            block 1 { x := a + b; y := x * 2; out(y) } -> e
+            block e
+            """
+        )
+        dead = analyze_dead(g)
+        assert not dead.is_dead_after("1", 0, "x")
+        assert dead.is_dead_after("1", 1, "x")
+
+    def test_everything_dead_at_end_exit(self):
+        g = graph("graph\nblock s -> 1\nblock 1 { x := 1 } -> e\nblock e")
+        dead = analyze_dead(g)
+        assert dead.exit("e") == dead.universe.full
+
+
+class TestBranching:
+    PARTIAL = """
+    graph
+    block s -> 1
+    block 1 { y := a + b } -> 2, 3
+    block 2 { out(y) } -> 4
+    block 3 { y := 4; out(y) } -> 4
+    block 4 {} -> e
+    block e
+    """
+
+    def test_partially_dead_is_not_dead(self):
+        dead = analyze_dead(graph(self.PARTIAL))
+        # y live at exit of 1: branch 2 uses it (all-paths meet keeps it live).
+        assert not dead.universe.test(dead.exit("1"), "y")
+
+    def test_dead_on_the_redefining_branch(self):
+        dead = analyze_dead(graph(self.PARTIAL))
+        assert dead.universe.test(dead.entry("3"), "y")
+
+    def test_live_on_the_using_branch(self):
+        dead = analyze_dead(graph(self.PARTIAL))
+        assert not dead.universe.test(dead.entry("2"), "y")
+
+
+class TestLoops:
+    def test_self_increment_is_not_dead(self):
+        # Figure 9: x := x+1 uses x, so x is live around the loop.
+        g = graph(
+            """
+            graph
+            block s -> 1
+            block 1 {} -> 2
+            block 2 { x := x + 1 } -> 2, 3
+            block 3 { out(y) } -> e
+            block e
+            """
+        )
+        dead = analyze_dead(g)
+        assert not dead.is_dead_after("2", 0, "x")
+
+    def test_loop_carried_liveness(self):
+        g = graph(
+            """
+            graph
+            block s -> 1
+            block 1 { acc := 0 } -> 2
+            block 2 { acc := acc + 1 } -> 2, 3
+            block 3 { out(acc) } -> e
+            block e
+            """
+        )
+        dead = analyze_dead(g)
+        assert not dead.is_dead_after("1", 0, "acc")
+
+
+class TestRelevantStatements:
+    def test_branch_condition_keeps_variable_alive(self):
+        g = graph(
+            """
+            graph
+            block s -> 1
+            block 1 { c := 1; branch c > 0 } -> 2, 3
+            block 2 { out(x) } -> e
+            block 3 {} -> e
+            block e
+            """
+        )
+        dead = analyze_dead(g)
+        assert not dead.is_dead_after("1", 0, "c")
+
+    def test_globals_live_at_end(self):
+        g = graph(
+            """
+            graph
+            globals gv;
+            block s -> 1
+            block 1 { gv := 1 } -> e
+            block e
+            """
+        )
+        dead = analyze_dead(g)
+        assert not dead.universe.test(dead.exit("e"), "gv")
+        assert not dead.is_dead_after("1", 0, "gv")
+
+    def test_non_global_assignment_before_end_is_dead(self):
+        g = graph("graph\nblock s -> 1\nblock 1 { q := 1 } -> e\nblock e")
+        dead = analyze_dead(g)
+        assert dead.is_dead_after("1", 0, "q")
+
+
+class TestAccessors:
+    def test_members_helpers(self):
+        g = graph("graph\nblock s -> 1\nblock 1 { x := 1; out(x) } -> e\nblock e")
+        dead = analyze_dead(g)
+        assert "x" in dead.dead_at_exit("1")
+        assert "x" not in dead.universe.members(dead.after_each("1")[0])
+
+    def test_unknown_variable_reports_not_dead(self):
+        g = graph("graph\nblock s -> 1\nblock 1 { x := 1 } -> e\nblock e")
+        dead = analyze_dead(g)
+        assert not dead.is_dead_after("1", 0, "nonexistent")

@@ -1,0 +1,134 @@
+"""Unit tests for the delayability analysis (Table 2)."""
+
+import pytest
+
+from repro.dataflow.delay import analyze_delayability
+from repro.ir.parser import parse_program
+from repro.ir.splitting import split_critical_edges
+
+
+def delayability(src, split=True):
+    g = parse_program(src)
+    if split:
+        g = split_critical_edges(g)
+    return g, analyze_delayability(g)
+
+
+FIG1 = """
+graph
+block s -> 1
+block 1 { y := a + b } -> 2, 3
+block 2 {} -> 4
+block 3 { y := 4 } -> 4
+block 4 { out(y) } -> e
+block e
+"""
+
+
+class TestFigure1Delayability:
+    def test_delayed_through_the_empty_branch(self):
+        g, d = delayability(FIG1)
+        bit = d.patterns.universe.bit("y := a + b")
+        assert d.x_delayed["1"] & bit
+        assert d.n_delayed["2"] & bit
+        assert d.x_delayed["2"] & bit
+
+    def test_blocked_at_the_redefinition(self):
+        g, d = delayability(FIG1)
+        bit = d.patterns.universe.bit("y := a + b")
+        assert d.n_delayed["3"] & bit
+        assert not d.x_delayed["3"] & bit
+
+    def test_insert_points(self):
+        g, d = delayability(FIG1)
+        bit = d.patterns.universe.bit("y := a + b")
+        # The merge is not uniformly delayed, so the empty branch
+        # materialises the instance at its exit; the redefining branch
+        # at its entry (where it will then be dead).
+        assert d.x_insert("2") & bit
+        assert d.n_insert("3") & bit
+        assert not d.n_insert("4") & bit
+
+    def test_not_delayed_at_start(self):
+        g, d = delayability(FIG1)
+        assert d.n_delayed["s"] == 0
+
+
+class TestLoops:
+    def test_no_delay_into_loop_from_inside(self):
+        # An assignment born inside a loop cannot delay past the header
+        # merge (the entry path carries no instance).
+        g, d = delayability(
+            """
+            graph
+            block s -> 1
+            block 1 {} -> 2
+            block 2 { x := a + b } -> 3
+            block 3 {} -> 2, 4
+            block 4 { out(x) } -> e
+            block e
+            """
+        )
+        bit = d.patterns.universe.bit("x := a + b")
+        assert not d.n_delayed["2"] & bit
+        # It can reach the loop exit side, where out(x) blocks it.
+        assert d.n_delayed["4"] & bit
+        assert d.n_insert("4") & bit
+
+    def test_delay_across_a_whole_loop(self):
+        # An assignment born above a loop that does not touch it is
+        # delayed across: every loop block carries the delayed bit.
+        g, d = delayability(
+            """
+            graph
+            block s -> 1
+            block 1 { x := a + b } -> 2
+            block 2 { q := q + 1 } -> 3
+            block 3 {} -> 2, 4
+            block 4 { out(x) } -> e
+            block e
+            """
+        )
+        bit = d.patterns.universe.bit("x := a + b")
+        for node in ("2", "3"):
+            assert d.n_delayed[node] & bit, node
+        assert d.n_insert("4") & bit
+        # No insertion inside the loop.
+        for node in ("2", "3"):
+            assert not d.n_insert(node) & bit
+            assert not d.x_insert(node) & bit
+
+
+class TestInvariants:
+    def test_no_exit_insertions_at_branching_nodes(self):
+        g, d = delayability(FIG1)
+        d.check_invariants()
+
+    def test_unsplit_graph_detected(self):
+        src = """
+        graph
+        block s -> 0, 1
+        block 0 {} -> 2
+        block 1 { x := a + b } -> 2, 3
+        block 2 { out(x) } -> 4
+        block 3 { x := 5; out(x) } -> 4
+        block 4 {} -> e
+        block e
+        """
+        g, d = delayability(src, split=False)
+        with pytest.raises(AssertionError):
+            d.check_invariants()
+
+
+class TestTermination:
+    def test_stable_program_has_trivial_insert_predicates(self):
+        # After pde stabilises, N-INSERT must be empty everywhere and
+        # X-INSERT must coincide with LOCDELAYED (paper Section 5.4).
+        from repro.core.driver import pde
+
+        result = pde(parse_program(FIG1))
+        d = analyze_delayability(result.graph)
+        for node in result.graph.nodes():
+            assert d.n_insert(node) == 0, node
+            loc_delayed, _ = d.locals[node]
+            assert d.x_insert(node) | loc_delayed == loc_delayed, node

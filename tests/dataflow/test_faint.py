@@ -1,0 +1,183 @@
+"""Unit tests for the faint variable analysis (Table 1, right system)."""
+
+import pytest
+
+from repro.dataflow.dead import analyze_dead
+from repro.dataflow.faint import analyze_faint
+from repro.ir.parser import parse_program
+from repro.workloads import random_arbitrary_graph, random_structured_program
+
+FIG9 = """
+graph
+block s -> 1
+block 1 {} -> 2
+block 2 { x := x + 1 } -> 2, 3
+block 3 { out(y) } -> e
+block e
+"""
+
+
+class TestFigure9:
+    def test_self_increment_is_faint_but_not_dead(self):
+        g = parse_program(FIG9)
+        dead = analyze_dead(g)
+        faint = analyze_faint(g)
+        assert not dead.is_dead_after("2", 0, "x")
+        assert faint.is_faint_after("2", 0, "x")
+
+
+class TestChains:
+    def test_chain_feeding_only_faint_code_is_faint(self):
+        g = parse_program(
+            """
+            graph
+            block s -> 1
+            block 1 { a := 1; b := a + 1; c := b + 1 } -> e
+            block e
+            """
+        )
+        faint = analyze_faint(g)
+        assert faint.is_faint_after("1", 0, "a")
+        assert faint.is_faint_after("1", 1, "b")
+        assert faint.is_faint_after("1", 2, "c")
+
+    def test_chain_reaching_out_is_not_faint(self):
+        g = parse_program(
+            """
+            graph
+            block s -> 1
+            block 1 { a := 1; b := a + 1; out(b) } -> e
+            block e
+            """
+        )
+        faint = analyze_faint(g)
+        assert not faint.is_faint_after("1", 0, "a")
+        assert not faint.is_faint_after("1", 1, "b")
+
+    def test_mutually_useless_pair_is_faint(self):
+        # Figure 12 flavour: each value only feeds the other.
+        g = parse_program(
+            """
+            graph
+            block s -> 1
+            block 1 {} -> 2
+            block 2 { a := b + 1; b := a + 1 } -> 2, 3
+            block 3 { out(z) } -> e
+            block e
+            """
+        )
+        faint = analyze_faint(g)
+        assert faint.is_faint_after("2", 0, "a")
+        assert faint.is_faint_after("2", 1, "b")
+
+
+class TestRelevantUses:
+    def test_out_kills_faintness(self):
+        g = parse_program(
+            "graph\nblock s -> 1\nblock 1 { x := 1; out(x) } -> e\nblock e"
+        )
+        faint = analyze_faint(g)
+        assert not faint.is_faint_after("1", 0, "x")
+
+    def test_branch_condition_kills_faintness(self):
+        g = parse_program(
+            """
+            graph
+            block s -> 1
+            block 1 { c := 1; branch c > 0 } -> 2, 3
+            block 2 {} -> e
+            block 3 {} -> e
+            block e
+            """
+        )
+        faint = analyze_faint(g)
+        assert not faint.is_faint_after("1", 0, "c")
+
+    def test_globals_never_faint_at_end(self):
+        g = parse_program(
+            "graph\nglobals gv;\nblock s -> 1\nblock 1 { gv := 1 } -> e\nblock e"
+        )
+        faint = analyze_faint(g)
+        assert not faint.is_faint_after("1", 0, "gv")
+
+
+class TestFaintGeneralisesDead:
+    """Every dead variable is faint (dead ⊆ faint, pointwise)."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_on_random_structured(self, seed):
+        g = random_structured_program(seed, size=18)
+        dead = analyze_dead(g)
+        faint = analyze_faint(g)
+        for node in g.nodes():
+            assert dead.entry(node) & ~faint.entry(node) == 0
+            assert dead.exit(node) & ~faint.exit(node) == 0
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_on_random_arbitrary(self, seed):
+        g = random_arbitrary_graph(seed, n_blocks=9)
+        dead = analyze_dead(g)
+        faint = analyze_faint(g)
+        for node in g.nodes():
+            assert dead.entry(node) & ~faint.entry(node) == 0
+
+
+class TestMethodsAgree:
+    """The paper's slotwise worklist, the instruction-level vector
+    worklist and the block-level solver compute the same greatest
+    fixpoint."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_structured(self, seed):
+        g = random_structured_program(seed, size=20)
+        a = analyze_faint(g, method="instruction")
+        b = analyze_faint(g, method="block")
+        c = analyze_faint(g, method="slot")
+        for node in g.nodes():
+            assert a.entry(node) == b.entry(node) == c.entry(node), node
+            assert a.exit(node) == b.exit(node) == c.exit(node), node
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_arbitrary(self, seed):
+        g = random_arbitrary_graph(seed, n_blocks=10)
+        a = analyze_faint(g, method="instruction")
+        b = analyze_faint(g, method="block")
+        c = analyze_faint(g, method="slot")
+        for node in g.nodes():
+            assert a.entry(node) == b.entry(node) == c.entry(node), node
+
+    def test_slotwise_handles_the_lhs_dependency(self):
+        # The chain a -> b -> c becomes faint only through the third
+        # conjunct: c's faintness must flow back through the lhs slots.
+        g = parse_program(
+            "graph\nblock s -> 1\nblock 1 { a := 1; b := a + 1; c := b + 1 } -> e\nblock e"
+        )
+        faint = analyze_faint(g, method="slot")
+        assert faint.is_faint_after("1", 0, "a")
+        assert faint.is_faint_after("1", 1, "b")
+
+    def test_slotwise_work_bounded(self):
+        # Each slot flips at most once: evaluations stay polynomial in
+        # instructions × variables (Section 6.1.2).
+        g = random_structured_program(3, size=40, n_variables=6)
+        faint = analyze_faint(g, method="slot")
+        i = g.instruction_count() + len(g.nodes())
+        v = len(g.variables())
+        assert faint.transfer_evaluations <= 6 * i * v
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_faint(parse_program("out(x);"), method="bogus")
+
+
+class TestAccessors:
+    def test_faint_members(self):
+        g = parse_program("graph\nblock s -> 1\nblock 1 { q := 1 } -> e\nblock e")
+        faint = analyze_faint(g)
+        assert "q" in faint.faint_at_exit("1")
+        assert "q" in faint.faint_at_entry("1")
+
+    def test_unknown_variable_not_faint(self):
+        g = parse_program("graph\nblock s -> 1\nblock 1 { q := 1 } -> e\nblock e")
+        faint = analyze_faint(g)
+        assert not faint.is_faint_after("1", 0, "ghost")

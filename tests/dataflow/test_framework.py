@@ -1,0 +1,121 @@
+"""Unit tests for the generic worklist solver."""
+
+from repro.dataflow.bitvec import Universe
+from repro.dataflow.framework import BACKWARD, FORWARD, Analysis, solve
+from repro.ir.parser import parse_program
+
+DIAMOND = parse_program(
+    """
+    graph
+    block s -> 1
+    block 1 {} -> 2, 3
+    block 2 {} -> 4
+    block 3 {} -> 4
+    block 4 { out(x) } -> e
+    block e
+    """
+)
+
+
+class _ForwardGen(Analysis):
+    """Gen a bit in a chosen block; confluence decides merge behaviour."""
+
+    direction = FORWARD
+
+    def __init__(self, graph, universe, gen_in, confluence):
+        super().__init__(graph, universe)
+        self._gen_in = gen_in
+        self.confluence = confluence
+
+    def boundary(self):
+        return 0
+
+    def transfer(self, node, value):
+        if node == self._gen_in:
+            return value | self.universe.bit("p")
+        return value
+
+
+class TestConfluence:
+    def test_all_paths_meet_kills_one_sided_fact(self):
+        u = Universe(["p"])
+        result = solve(_ForwardGen(DIAMOND, u, gen_in="2", confluence="all"))
+        assert result.exit["2"] == u.bit("p")
+        assert result.entry["4"] == 0  # only true on one branch
+
+    def test_any_path_meet_keeps_one_sided_fact(self):
+        u = Universe(["p"])
+        result = solve(_ForwardGen(DIAMOND, u, gen_in="2", confluence="any"))
+        assert result.entry["4"] == u.bit("p")
+
+    def test_fact_from_common_ancestor_survives_all_meet(self):
+        u = Universe(["p"])
+        result = solve(_ForwardGen(DIAMOND, u, gen_in="1", confluence="all"))
+        assert result.entry["4"] == u.bit("p")
+
+
+class _BackwardLive(Analysis):
+    direction = BACKWARD
+
+    def boundary(self):
+        return 0
+
+    def transfer(self, node, value):
+        if node == "4":
+            return value | self.universe.bit("x")
+        return value
+
+
+class TestBackward:
+    def test_backward_propagation(self):
+        u = Universe(["x"])
+        result = solve(_BackwardLive(DIAMOND, u))
+        assert result.entry["4"] == u.bit("x")
+        assert result.exit["2"] == u.bit("x")
+        assert result.exit["3"] == u.bit("x")
+        assert result.entry["s"] == u.bit("x")
+
+    def test_boundary_applied_at_end(self):
+        u = Universe(["x"])
+        result = solve(_BackwardLive(DIAMOND, u))
+        assert result.exit["e"] == 0
+
+
+class _LoopPass(Analysis):
+    direction = FORWARD
+
+    def boundary(self):
+        return self.universe.full
+
+    def transfer(self, node, value):
+        return value
+
+
+class TestFixpoint:
+    def test_loop_converges_to_greatest_solution(self):
+        loop = parse_program(
+            """
+            graph
+            block s -> 1
+            block 1 {} -> 2
+            block 2 {} -> r1, 3
+            block r1 {} -> 1
+            block 3 { out(x) } -> e
+            block e
+            """
+        )
+        u = Universe(["p"])
+        result = solve(_LoopPass(loop, u))
+        # Pass-through transfer with a full boundary: everything stays full.
+        assert all(v == u.full for v in result.entry.values())
+
+    def test_statistics_counted(self):
+        u = Universe(["p"])
+        result = solve(_ForwardGen(DIAMOND, u, gen_in="1", confluence="all"))
+        assert result.transfer_evaluations >= len(DIAMOND.nodes())
+
+    def test_result_member_helpers(self):
+        u = Universe(["p"])
+        result = solve(_ForwardGen(DIAMOND, u, gen_in="1", confluence="all"))
+        assert result.exit_members("1") == ("p",)
+        assert result.entry_members("1") == ()

@@ -1,0 +1,91 @@
+"""Unit tests for live variables and the live/dead duality ([24])."""
+
+import pytest
+
+from repro.dataflow.dead import analyze_dead
+from repro.dataflow.live import analyze_live
+from repro.ir.parser import parse_program
+from repro.workloads import random_arbitrary_graph, random_structured_program
+
+
+class TestLiveBasics:
+    def test_used_variable_live_before_use(self):
+        g = parse_program(
+            "graph\nblock s -> 1\nblock 1 { x := 1; out(x) } -> e\nblock e"
+        )
+        live = analyze_live(g)
+        assert not live.is_live_after("1", 1, "x")
+        assert live.is_live_after("1", 0, "x")
+
+    def test_redefinition_kills_liveness(self):
+        g = parse_program(
+            "graph\nblock s -> 1\nblock 1 { x := 1; x := 2; out(x) } -> e\nblock e"
+        )
+        live = analyze_live(g)
+        assert not live.is_live_after("1", 0, "x")
+
+    def test_any_path_use_suffices(self):
+        g = parse_program(
+            """
+            graph
+            block s -> 1
+            block 1 { y := 1 } -> 2, 3
+            block 2 { out(y) } -> 4
+            block 3 {} -> 4
+            block 4 {} -> e
+            block e
+            """
+        )
+        live = analyze_live(g)
+        assert live.is_live_after("1", 0, "y")  # used on one path only
+
+    def test_globals_live_at_end(self):
+        g = parse_program(
+            "graph\nglobals gv;\nblock s -> 1\nblock 1 { gv := 1 } -> e\nblock e"
+        )
+        live = analyze_live(g)
+        assert live.universe.test(live.exit("e"), "gv")
+        assert live.is_live_after("1", 0, "gv")
+
+    def test_members_helpers(self):
+        g = parse_program(
+            "graph\nblock s -> 1\nblock 1 { x := 1; out(x) } -> e\nblock e"
+        )
+        live = analyze_live(g)
+        # x is born at statement 0, so it is live only *inside* block 1.
+        assert "x" not in live.live_at_entry("1")
+        assert "x" in live.universe.members(live.after_each("1")[0])
+        assert not live.is_live_after("1", 0, "ghost")
+
+
+class TestDuality:
+    """LIVE = complement of DEAD, pointwise (the paper's [24])."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_structured(self, seed):
+        g = random_structured_program(seed, size=16)
+        live = analyze_live(g)
+        dead = analyze_dead(g)
+        full = live.universe.full
+        for node in g.nodes():
+            assert live.entry(node) == full & ~dead.entry(node), node
+            assert live.exit(node) == full & ~dead.exit(node), node
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_arbitrary(self, seed):
+        g = random_arbitrary_graph(seed, n_blocks=9)
+        live = analyze_live(g)
+        dead = analyze_dead(g)
+        full = live.universe.full
+        for node in g.nodes():
+            assert live.entry(node) == full & ~dead.entry(node), node
+
+    def test_with_globals(self):
+        g = parse_program(
+            "graph\nglobals gv;\nblock s -> 1\nblock 1 { gv := 1; q := 2 } -> e\nblock e"
+        )
+        live = analyze_live(g)
+        dead = analyze_dead(g)
+        full = live.universe.full
+        for node in g.nodes():
+            assert live.exit(node) == full & ~dead.exit(node)

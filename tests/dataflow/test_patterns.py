@@ -1,0 +1,135 @@
+"""Unit tests for assignment patterns and sinking candidates (Figure 13)."""
+
+from repro.dataflow.patterns import (
+    PatternInfo,
+    PatternUniverse,
+    blocks_sinking,
+    candidate_locations,
+    local_predicates,
+    sinking_candidate_index,
+)
+from repro.ir.builder import block_statements
+from repro.ir.parser import parse_program, parse_statement
+
+Y_AB = PatternInfo.of(parse_statement("y := a + b"))
+
+
+def stmts(source):
+    return tuple(block_statements(source))
+
+
+class TestSinkingCandidateIndex:
+    def test_single_unblocked_occurrence(self):
+        assert sinking_candidate_index(stmts("x := 3; y := a + b"), Y_AB) == 1
+
+    def test_blocked_by_operand_modification(self):
+        assert sinking_candidate_index(stmts("y := a + b; a := c"), Y_AB) is None
+
+    def test_blocked_by_lhs_use(self):
+        assert sinking_candidate_index(stmts("y := a + b; out(y)"), Y_AB) is None
+
+    def test_blocked_by_lhs_modification(self):
+        assert sinking_candidate_index(stmts("y := a + b; y := 0"), Y_AB) is None
+
+    def test_only_last_occurrence_is_candidate(self):
+        # Figure 13: every occurrence blocks its predecessors.
+        block = stmts("y := a + b; a := c; x := 3 * y; y := a + b")
+        assert sinking_candidate_index(block, Y_AB) == 3
+
+    def test_non_blocking_tail_is_fine(self):
+        assert sinking_candidate_index(stmts("y := a + b; z := c"), Y_AB) == 0
+
+    def test_virtual_use_of_globals_blocks(self):
+        assert (
+            sinking_candidate_index(
+                stmts("y := a + b"), Y_AB, virtually_used=frozenset({"y"})
+            )
+            is None
+        )
+
+    def test_empty_block_has_no_candidate(self):
+        assert sinking_candidate_index((), Y_AB) is None
+
+
+class TestBlocksSinking:
+    def test_occurrence_blocks_its_own_pattern(self):
+        # An occurrence modifies the lhs, so it blocks incoming instances
+        # (what Figure 7's m-to-n fusion relies on).
+        assert blocks_sinking(parse_statement("y := a + b"), Y_AB)
+
+    def test_irrelevant_statement_does_not_block(self):
+        assert not blocks_sinking(parse_statement("q := c * 2"), Y_AB)
+
+
+class TestPatternUniverse:
+    GRAPH = parse_program(
+        """
+        graph
+        block s -> 1
+        block 1 { y := a + b; x := 1 } -> 2
+        block 2 { y := a + b; out(y); out(x) } -> e
+        block e
+        """
+    )
+
+    def test_patterns_deduplicated_and_sorted(self):
+        patterns = PatternUniverse(self.GRAPH)
+        assert patterns.patterns() == ("x := 1", "y := a + b")
+
+    def test_info_lookup(self):
+        patterns = PatternUniverse(self.GRAPH)
+        info = patterns.info("y := a + b")
+        assert info.lhs == "y" and info.rhs_variables == frozenset({"a", "b"})
+
+    def test_instance_creates_fresh_statement(self):
+        patterns = PatternUniverse(self.GRAPH)
+        inst = patterns.info("x := 1").instance()
+        assert inst.pattern() == "x := 1"
+
+    def test_members_decodes_vector(self):
+        patterns = PatternUniverse(self.GRAPH)
+        vector = patterns.universe.full
+        assert {i.pattern for i in patterns.members(vector)} == {
+            "x := 1",
+            "y := a + b",
+        }
+
+
+class TestLocalPredicates:
+    def test_candidate_and_block_in_same_block(self):
+        g = parse_program(
+            """
+            graph
+            block s -> 1
+            block 1 { out(y); y := a + b } -> e
+            block e
+            """
+        )
+        patterns = PatternUniverse(g)
+        loc_delayed, loc_blocked = local_predicates(g, patterns, "1")
+        bit = patterns.universe.bit("y := a + b")
+        # The trailing occurrence is a candidate, and the out(y) blocks
+        # incoming instances.
+        assert loc_delayed & bit
+        assert loc_blocked & bit
+
+    def test_global_blocked_at_end_node(self):
+        g = parse_program(
+            "graph\nglobals gv;\nblock s -> 1\nblock 1 { gv := 1 } -> e\nblock e"
+        )
+        patterns = PatternUniverse(g)
+        _d, blocked = local_predicates(g, patterns, "e")
+        assert blocked & patterns.universe.bit("gv := 1")
+
+    def test_candidate_locations(self):
+        g = parse_program(
+            """
+            graph
+            block s -> 1
+            block 1 { y := a + b } -> 2
+            block 2 { y := a + b; out(y) } -> e
+            block e
+            """
+        )
+        patterns = PatternUniverse(g)
+        assert candidate_locations(g, patterns) == [("1", 0, "y := a + b")]

@@ -1,0 +1,66 @@
+"""Unit tests for reaching definitions (def-use substrate)."""
+
+from repro.dataflow.reaching import Definition, analyze_reaching
+from repro.ir.parser import parse_program
+
+
+class TestStraightLine:
+    def test_definition_reaches_its_use(self):
+        g = parse_program(
+            "graph\nblock s -> 1\nblock 1 { x := 1; out(x) } -> e\nblock e"
+        )
+        reaching = analyze_reaching(g)
+        defs = reaching.definitions_reaching("1", 1, "x")
+        assert defs == (Definition("1", 0, "x"),)
+
+    def test_redefinition_kills(self):
+        g = parse_program(
+            "graph\nblock s -> 1\nblock 1 { x := 1; x := 2; out(x) } -> e\nblock e"
+        )
+        reaching = analyze_reaching(g)
+        defs = reaching.definitions_reaching("1", 2, "x")
+        assert defs == (Definition("1", 1, "x"),)
+
+
+class TestMerges:
+    MERGE = """
+    graph
+    block s -> 1
+    block 1 {} -> 2, 3
+    block 2 { x := 1 } -> 4
+    block 3 { x := 2 } -> 4
+    block 4 { out(x) } -> e
+    block e
+    """
+
+    def test_both_branch_definitions_reach_the_merge(self):
+        reaching = analyze_reaching(parse_program(self.MERGE))
+        defs = set(reaching.definitions_reaching("4", 0, "x"))
+        assert defs == {Definition("2", 0, "x"), Definition("3", 0, "x")}
+
+
+class TestLoops:
+    def test_loop_definition_reaches_itself(self):
+        g = parse_program(
+            """
+            graph
+            block s -> 1
+            block 1 { x := 0 } -> 2
+            block 2 { x := x + 1 } -> 2, 3
+            block 3 { out(x) } -> e
+            block e
+            """
+        )
+        reaching = analyze_reaching(g)
+        defs = set(reaching.definitions_reaching("2", 0, "x"))
+        assert defs == {Definition("1", 0, "x"), Definition("2", 0, "x")}
+        exit_defs = set(reaching.definitions_in(reaching.exit(g.end)))
+        assert Definition("2", 0, "x") in exit_defs
+        assert Definition("1", 0, "x") not in exit_defs
+
+
+class TestUninitialised:
+    def test_no_definitions_reach_an_uninitialised_use(self):
+        g = parse_program("graph\nblock s -> 1\nblock 1 { out(x) } -> e\nblock e")
+        reaching = analyze_reaching(g)
+        assert reaching.definitions_reaching("1", 0, "x") == ()

@@ -1,0 +1,121 @@
+"""Unit tests for reducibility and the round-robin fast path."""
+
+import pytest
+
+from repro.dataflow.dead import DeadVariableAnalysis, analyze_dead
+from repro.dataflow.bitvec import Universe
+from repro.dataflow.delay import analyze_delayability
+from repro.dataflow.framework import solve
+from repro.dataflow.reducible import (
+    is_reducible,
+    loop_connectedness,
+    solve_round_robin,
+)
+from repro.ir.parser import parse_program
+from repro.ir.splitting import split_critical_edges
+from repro.workloads import (
+    irreducible_mesh,
+    random_arbitrary_graph,
+    random_structured_program,
+)
+
+IRREDUCIBLE = """
+graph
+block s -> 0
+block 0 {} -> 1, 2
+block 1 {} -> 2
+block 2 {} -> 1, 3
+block 3 { out(x) } -> e
+block e
+"""
+
+
+class TestIsReducible:
+    def test_straight_line(self):
+        assert is_reducible(parse_program("x := 1; out(x);"))
+
+    def test_structured_loops_reducible(self):
+        g = parse_program("while ? { x := x + 1; } out(x);")
+        assert is_reducible(g)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_all_structured_programs_reducible(self, seed):
+        assert is_reducible(random_structured_program(seed, size=20))
+
+    def test_two_entry_loop_irreducible(self):
+        assert not is_reducible(parse_program(IRREDUCIBLE))
+
+    def test_mesh_family_irreducible(self):
+        assert not is_reducible(irreducible_mesh(2))
+
+    def test_self_loop_is_reducible(self):
+        g = parse_program(
+            "graph\nblock s -> 1\nblock 1 { x := x + 1 } -> 1, 2\n"
+            "block 2 { out(x) } -> e\nblock e"
+        )
+        assert is_reducible(g)
+
+    def test_splitting_preserves_reducibility_status(self):
+        g = parse_program(IRREDUCIBLE)
+        assert not is_reducible(split_critical_edges(g))
+        h = parse_program("while ? { x := x + 1; } out(x);")
+        assert is_reducible(split_critical_edges(h))
+
+
+class TestLoopConnectedness:
+    def test_acyclic_graph_is_zero(self):
+        assert loop_connectedness(parse_program("x := 1; out(x);")) == 0
+
+    def test_single_loop_is_one(self):
+        g = parse_program("while ? { x := x + 1; } out(x);")
+        assert loop_connectedness(g) == 1
+
+    def test_grows_with_loops(self):
+        two = parse_program("while ? { x := x + 1; } while ? { y := y + 1; } out(x);")
+        assert loop_connectedness(two) == 2
+
+
+class TestRoundRobin:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_worklist_on_dead_analysis(self, seed):
+        g = random_structured_program(seed, size=18)
+        universe = Universe(sorted(g.variables()))
+        analysis = DeadVariableAnalysis(g, universe)
+        via_worklist = solve(analysis)
+        via_sweeps, _sweeps = solve_round_robin(analysis)
+        assert via_worklist.entry == via_sweeps.entry
+        assert via_worklist.exit == via_sweeps.exit
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_worklist_on_irreducible_graphs(self, seed):
+        g = random_arbitrary_graph(seed, n_blocks=9)
+        universe = Universe(sorted(g.variables()))
+        analysis = DeadVariableAnalysis(g, universe)
+        via_worklist = solve(analysis)
+        via_sweeps, _sweeps = solve_round_robin(analysis)
+        assert via_worklist.entry == via_sweeps.entry
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_kam_ullman_sweep_bound_on_reducible_graphs(self, seed):
+        """Section 6.1.1's 'almost linear': sweeps ≤ d(G) + 3 on
+        well-structured (reducible) graphs."""
+        g = random_structured_program(seed, size=20)
+        assert is_reducible(g)
+        universe = Universe(sorted(g.variables()))
+        _result, sweeps = solve_round_robin(DeadVariableAnalysis(g, universe))
+        assert sweeps <= loop_connectedness(g) + 3
+
+    def test_sweep_count_small_on_deep_nesting(self):
+        g = parse_program(
+            """
+            while ? {
+                while ? {
+                    while ? { x := x + 1; }
+                }
+            }
+            out(x);
+            """
+        )
+        universe = Universe(sorted(g.variables()))
+        _result, sweeps = solve_round_robin(DeadVariableAnalysis(g, universe))
+        assert sweeps <= loop_connectedness(g) + 3

@@ -1,0 +1,39 @@
+"""Unit tests for the figures-corpus machinery."""
+
+from repro.figures import ALL_FIGURES
+from repro.figures.base import PaperFigure
+from repro.ir.validate import validate
+
+
+class TestPaperFigure:
+    def test_before_parses_fresh_graphs(self):
+        figure = ALL_FIGURES[0]
+        a = figure.before()
+        b = figure.before()
+        assert a == b and a is not b
+
+    def test_expected_pde_optional(self):
+        figure = PaperFigure(
+            number="x",
+            title="t",
+            claim="c",
+            before_text="out(q);",
+        )
+        assert figure.expected_pde() is None
+        assert figure.expected_pfe() is None
+
+    def test_all_figures_have_unique_numbers(self):
+        numbers = [figure.number for figure in ALL_FIGURES]
+        assert len(numbers) == len(set(numbers))
+
+    def test_all_figures_carry_claims(self):
+        assert all(figure.claim for figure in ALL_FIGURES)
+        assert all(figure.title for figure in ALL_FIGURES)
+
+    def test_all_expected_programs_well_formed(self):
+        for figure in ALL_FIGURES:
+            expected = figure.expected_pde()
+            assert expected is not None
+            validate(expected)
+            if figure.expected_pfe_text:
+                validate(figure.expected_pfe())

@@ -1,0 +1,88 @@
+"""Integration tests: every paper figure reproduces exactly."""
+
+import pytest
+
+from repro.core import pde, pfe
+from repro.core.optimality import is_better_or_equal
+from repro.dataflow.patterns import PatternInfo, sinking_candidate_index
+from repro.figures import ALL_FIGURES, FIG_13_PANEL
+from repro.ir.parser import parse_statement
+from repro.ir.validate import validate
+
+from ..helpers import assert_never_slower, assert_semantics_preserved
+
+
+@pytest.mark.parametrize("figure", ALL_FIGURES, ids=[f.number for f in ALL_FIGURES])
+class TestEveryFigure:
+    def test_pde_matches_frozen_expectation(self, figure):
+        result = pde(figure.before())
+        assert result.graph == figure.expected_pde(), figure.claim
+
+    def test_pfe_matches_when_specified(self, figure):
+        if figure.expected_pfe_text is None:
+            pytest.skip("figure does not distinguish pfe")
+        result = pfe(figure.before())
+        assert result.graph == figure.expected_pfe(), figure.claim
+
+    def test_semantics_preserved(self, figure):
+        result = pde(figure.before())
+        assert assert_semantics_preserved(result.original, result.graph) > 0
+
+    def test_never_slower(self, figure):
+        result = pde(figure.before())
+        assert_never_slower(result.original, result.graph)
+
+    def test_result_better_or_equal_pathwise(self, figure):
+        result = pde(figure.before())
+        assert is_better_or_equal(result.graph, result.original)
+
+    def test_result_well_formed(self, figure):
+        result = pde(figure.before())
+        validate(result.graph, require_split=True)
+
+    def test_before_program_well_formed(self, figure):
+        validate(figure.before(), strict=True)
+
+
+class TestFigure13Panel:
+    @pytest.mark.parametrize(
+        "panel", FIG_13_PANEL, ids=[p.label for p in FIG_13_PANEL]
+    )
+    def test_candidate_identification(self, panel):
+        info = PatternInfo.of(parse_statement("y := a + b"))
+        index = sinking_candidate_index(panel.statements(), info)
+        assert index == panel.expected_index, panel.label
+
+
+class TestFigureSpecificClaims:
+    def _figure(self, number):
+        return next(f for f in ALL_FIGURES if f.number == number)
+
+    def test_fig5_6_no_motion_into_the_second_loop(self):
+        result = pde(self._figure("5-6").before())
+        # The assignment sits in S4_5 and never inside loop {5, 7}.
+        texts7 = [str(s) for s in result.graph.statements("7")]
+        assert texts7 == ["y := y + x"]
+        assert [str(s) for s in result.graph.statements("S4_5")] == ["x := a + b"]
+
+    def test_fig7_single_insertion_for_two_removals(self):
+        result = pde(self._figure("7").before())
+        all_assignments = [
+            s.pattern()
+            for _n, _i, s in result.graph.assignments()
+        ]
+        assert all_assignments.count("a := a + 1") == 1
+
+    def test_fig9_pde_keeps_but_pfe_removes(self):
+        figure = self._figure("9")
+        d = pde(figure.before())
+        f = pfe(figure.before())
+        d_assignments = list(d.graph.assignments())
+        f_assignments = list(f.graph.assignments())
+        assert len(d_assignments) == 1 and len(f_assignments) == 0
+
+    def test_fig12_pfe_first_round_removes_both(self):
+        figure = self._figure("12")
+        f = pfe(figure.before())
+        first_round = f.stats.history[0].elimination
+        assert len(first_round) == 2

@@ -1,0 +1,116 @@
+"""Shared test utilities.
+
+The central facility is :func:`assert_semantics_preserved`: it replays
+identical branch-decision sequences against two programs with the same
+branching structure and compares the observable behaviour (the ``out``
+sequence), honouring the paper's footnote 3 — a transformation may make
+run-time errors *disappear* but never introduce them or change outputs
+produced before one.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional
+
+from repro.interp import DecisionSequence, InterpreterError, execute
+from repro.ir.cfg import FlowGraph
+
+__all__ = [
+    "assert_semantics_preserved",
+    "assert_never_slower",
+    "statements_of",
+    "all_statement_texts",
+]
+
+
+def assert_semantics_preserved(
+    original: FlowGraph,
+    transformed: FlowGraph,
+    seeds: Iterable[int] = range(10),
+    max_steps: int = 4000,
+    decisions_len: int = 400,
+    env_range: int = 4,
+) -> int:
+    """Replay random executions against both programs and compare.
+
+    Returns the number of comparisons actually performed (runs that
+    exhaust the step or decision budget on the *original* are skipped —
+    they say nothing either way).
+    """
+    compared = 0
+    for seed in seeds:
+        rng = random.Random(seed)
+        decisions = [rng.randint(0, 7) for _ in range(decisions_len)]
+        env = {name: rng.randint(-env_range, env_range) for name in original.variables()}
+        try:
+            base = execute(
+                original, dict(env), DecisionSequence(decisions), max_steps=max_steps
+            )
+        except InterpreterError:
+            continue
+        try:
+            new = execute(
+                transformed, dict(env), DecisionSequence(decisions), max_steps=max_steps
+            )
+        except InterpreterError as error:
+            raise AssertionError(
+                f"transformed program did not finish where the original did: {error}"
+            ) from error
+        if base.error is None:
+            assert new.error is None, (
+                f"transformation introduced run-time error {new.error!r} "
+                f"(seed {seed})"
+            )
+            assert new.outputs == base.outputs, (
+                f"outputs changed (seed {seed}): {base.outputs} -> {new.outputs}"
+            )
+        else:
+            # Errors may only disappear; outputs produced before the
+            # original error must be reproduced in order.
+            assert new.outputs[: len(base.outputs)] == base.outputs, (
+                f"pre-error outputs changed (seed {seed})"
+            )
+        compared += 1
+    return compared
+
+
+def assert_never_slower(
+    original: FlowGraph,
+    transformed: FlowGraph,
+    seeds: Iterable[int] = range(10),
+    max_steps: int = 4000,
+) -> None:
+    """The paper's performance guarantee: per execution, the transformed
+    program runs at most as many assignments as the original."""
+    for seed in seeds:
+        rng = random.Random(seed)
+        decisions = [rng.randint(0, 7) for _ in range(400)]
+        env = {name: rng.randint(-4, 4) for name in original.variables()}
+        try:
+            base = execute(
+                original, dict(env), DecisionSequence(decisions), max_steps=max_steps
+            )
+            new = execute(
+                transformed, dict(env), DecisionSequence(decisions), max_steps=max_steps
+            )
+        except InterpreterError:
+            continue
+        if base.error is not None or new.error is not None:
+            continue
+        assert new.total_assignments <= base.total_assignments, (
+            f"execution got slower (seed {seed}): "
+            f"{base.total_assignments} -> {new.total_assignments}"
+        )
+
+
+def statements_of(graph: FlowGraph, node: str) -> list[str]:
+    """Statement texts of one block (readable assertions)."""
+    return [str(stmt) for stmt in graph.statements(node)]
+
+
+def all_statement_texts(graph: FlowGraph) -> list[str]:
+    """Every statement text in the program, block order."""
+    return [
+        str(stmt) for node in graph.nodes() for stmt in graph.statements(node)
+    ]

@@ -1,0 +1,161 @@
+"""Integration tests for the command-line interface."""
+
+import io
+import sys
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FIG1 = """
+graph
+block s -> 1
+block 1 { y := a + b } -> 2, 3
+block 2 {} -> 4
+block 3 { y := 4 } -> 4
+block 4 { out(y) } -> e
+block e
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "fig1.pde"
+    path.write_text(FIG1)
+    return str(path)
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestOptimize:
+    def test_default_output_is_the_result_graph(self, capsys, program_file):
+        code, out, _err = run_cli(capsys, "optimize", program_file)
+        assert code == 0
+        assert out.startswith("graph")
+        assert "y := a + b" in out
+
+    def test_diff_shows_both_columns(self, capsys, program_file):
+        code, out, _err = run_cli(capsys, "optimize", "--diff", program_file)
+        assert code == 0
+        assert "before" in out and "after" in out
+
+    def test_dot_output(self, capsys, program_file):
+        code, out, _err = run_cli(capsys, "optimize", "--dot", program_file)
+        assert code == 0
+        assert out.startswith("digraph")
+
+    def test_stats_go_to_stderr(self, capsys, program_file):
+        code, _out, err = run_cli(capsys, "optimize", "--stats", program_file)
+        assert code == 0
+        assert "rounds=" in err and "w=" in err
+
+    def test_pfe_variant(self, capsys, program_file):
+        code, out, _err = run_cli(capsys, "optimize", "--variant", "pfe", program_file)
+        assert code == 0
+
+    def test_verify_flag_certifies(self, capsys, program_file):
+        code, out, err = run_cli(capsys, "optimize", "--verify", program_file)
+        assert code == 0
+        assert "verified:" in err
+        assert "admissibility" in err and "idempotence" in err
+
+    def test_stdin_input(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "stdin", io.StringIO(FIG1))
+        code, out, _err = run_cli(capsys, "optimize", "-")
+        assert code == 0 and out.startswith("graph")
+
+
+class TestAnalyze:
+    def test_dumps_both_tables(self, capsys, program_file):
+        code, out, _err = run_cli(capsys, "analyze", program_file)
+        assert code == 0
+        assert "Table 1" in out and "Table 2" in out
+        assert "N-DEAD" in out and "N-DELAYED" in out
+
+
+class TestExplain:
+    def test_narrates_rounds(self, capsys, program_file):
+        code, out, _err = run_cli(capsys, "explain", program_file)
+        assert code == 0
+        assert "round 1" in out
+        assert "ask: candidate" in out
+        assert "stabilised after" in out
+
+    def test_pfe_variant(self, capsys, program_file):
+        code, out, _err = run_cli(capsys, "explain", "--variant", "pfe", program_file)
+        assert code == 0
+        assert "fce:" in out
+
+
+class TestCompile:
+    def test_emits_bytecode_listing(self, capsys, program_file):
+        code, out, err = run_cli(capsys, "compile", program_file)
+        assert code == 0
+        assert "HALT" in out
+        assert "instructions" in err
+
+    def test_optimised_listing_is_shorter_or_equal(self, capsys, program_file):
+        _c, plain, _e = run_cli(capsys, "compile", program_file)
+        _c, optimised, _e = run_cli(capsys, "compile", "--opt", program_file)
+        assert len(optimised.splitlines()) <= len(plain.splitlines())
+
+    def test_parse_error_reported_cleanly(self, capsys, tmp_path):
+        bad = tmp_path / "bad.pde"
+        bad.write_text("x := := 1;")
+        code, _out, err = run_cli(capsys, "compile", str(bad))
+        assert code == 2
+        assert "parse error" in err
+
+    def test_missing_file_reported_cleanly(self, capsys):
+        code, _out, err = run_cli(capsys, "compile", "/definitely/missing.pde")
+        assert code == 2
+        assert "cannot read" in err
+
+
+class TestProfile:
+    def test_reports_costs_and_hot_blocks(self, capsys, program_file):
+        code, out, _err = run_cli(
+            capsys, "profile", "--trials", "50", program_file
+        )
+        assert code == 0
+        assert "expected executed assignments" in out
+        assert "hottest blocks" in out
+
+    def test_saving_reported_when_improved(self, capsys, program_file):
+        code, out, _err = run_cli(
+            capsys, "profile", "--trials", "50", program_file
+        )
+        assert "saving:" in out
+
+
+class TestFigures:
+    def test_list(self, capsys):
+        code, out, _err = run_cli(capsys, "figures")
+        assert code == 0
+        assert "1-2" in out and "5-6" in out
+
+    def test_run_figure(self, capsys):
+        code, out, _err = run_cli(capsys, "figures", "--run", "1-2")
+        assert code == 0
+        assert "matches" in out
+
+    def test_run_unknown_figure(self, capsys):
+        code, _out, err = run_cli(capsys, "figures", "--run", "99")
+        assert code == 1
+        assert "unknown" in err
+
+    def test_run_figure_pfe_variant(self, capsys):
+        code, out, _err = run_cli(capsys, "figures", "--run", "9", "--variant", "pfe")
+        assert code == 0
+        assert "matches" in out
+
+
+class TestParser:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["optimize", "x.pde", "--variant", "pfe"])
+        assert args.variant == "pfe"

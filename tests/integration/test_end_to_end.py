@@ -1,0 +1,126 @@
+"""End-to-end integration tests across the whole pipeline:
+parse → split → optimise → print → reparse → execute."""
+
+import pytest
+
+from repro import (
+    DecisionSequence,
+    execute,
+    format_graph,
+    parse_program,
+    pde,
+    pfe,
+)
+from repro.baselines import dce_only, fce_only, naive_sinking, single_pass_pde
+from repro.core.optimality import is_better_or_equal, total_executable_statements
+from repro.workloads import diamond_chain, loop_chain
+
+from ..helpers import assert_semantics_preserved
+
+
+class TestFullPipeline:
+    SOURCE = """
+    globals acc;
+    i := 3;
+    t := a * b;
+    while (i > 0) {
+        u := a * b;        # redundant with t on entry, invariant in loop
+        i := i - 1;
+        if ? { acc := acc + u; } else { skip; }
+    }
+    dead1 := i + 99;
+    out(i);
+    """
+
+    def test_pipeline_round_trips_and_preserves_semantics(self):
+        g = parse_program(self.SOURCE)
+        result = pde(g)
+        reparsed = parse_program(format_graph(result.graph))
+        assert reparsed == result.graph
+        assert_semantics_preserved(result.original, reparsed)
+
+    def test_totally_dead_code_gone(self):
+        result = pde(parse_program(self.SOURCE))
+        texts = [str(s) for n in result.graph.nodes() for s in result.graph.statements(n)]
+        assert "dead1 := i + 99" not in texts
+
+    def test_globals_survive_whole_pipeline(self):
+        result = pde(parse_program(self.SOURCE))
+        texts = [str(s) for n in result.graph.nodes() for s in result.graph.statements(n)]
+        assert any("acc :=" in t for t in texts)
+
+
+class TestOrderingOfStrengths:
+    """dce-only ⊑ fce-only and single-pass ⊑ pde ⊑ pfe, path-wise."""
+
+    SOURCES = [
+        """
+        graph
+        block s -> 1
+        block 1 { y := a + b } -> 2, 3
+        block 2 {} -> 4
+        block 3 { y := 4 } -> 4
+        block 4 { out(y) } -> e
+        block e
+        """,
+        """
+        graph
+        block s -> 1
+        block 1 { y := a + b; a := c } -> 2, 3
+        block 2 { y := 7 } -> 4
+        block 3 {} -> 4
+        block 4 { out(y) } -> e
+        block e
+        """,
+    ]
+
+    @pytest.mark.parametrize("src", SOURCES)
+    def test_hierarchy(self, src):
+        g = parse_program(src)
+        results = {
+            "dce": dce_only(g).graph,
+            "fce": fce_only(g).graph,
+            "single": single_pass_pde(g).graph,
+            "pde": pde(g).graph,
+            "pfe": pfe(g).graph,
+        }
+        assert is_better_or_equal(results["fce"], results["dce"])
+        assert is_better_or_equal(results["pde"], results["single"])
+        assert is_better_or_equal(results["pde"], results["dce"])
+        assert is_better_or_equal(results["pfe"], results["pde"])
+
+
+class TestDynamicWins:
+    def test_diamond_chain_dynamic_counts_strictly_drop(self):
+        result = pde(diamond_chain(6))
+        before = sum(total_executable_statements(result.original, 1))
+        after = sum(total_executable_statements(result.graph, 1))
+        assert after < before
+
+    def test_loop_chain_loops_drained(self):
+        result = pde(loop_chain(4))
+        decisions = DecisionSequence([0, 0, 0, 1] * 8)  # iterate each loop
+        base = execute(result.original, decisions=decisions)
+        new = execute(result.graph, decisions=decisions.reset())
+        assert new.outputs == base.outputs
+        assert new.total_assignments < base.total_assignments
+
+    def test_naive_sinking_can_lose_to_pde(self):
+        src = parse_program(
+            """
+            graph
+            block s -> 1
+            block 1 { x := a + b } -> 5
+            block 5 {} -> 7, 10
+            block 7 { y := y + x } -> 5
+            block 10 { out(y) } -> e
+            block e
+            """
+        )
+        naive = naive_sinking(src)
+        good = pde(src)
+        decisions = [0] * 6 + [1]
+        naive_run = execute(naive.graph, decisions=DecisionSequence(list(decisions)))
+        good_run = execute(good.graph, decisions=DecisionSequence(list(decisions)))
+        assert naive_run.outputs == good_run.outputs
+        assert good_run.total_assignments < naive_run.total_assignments

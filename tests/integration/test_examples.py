@@ -1,0 +1,36 @@
+"""Every example script runs to completion — the examples are part of
+the public surface and must not rot."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=[s.stem for s in SCRIPTS])
+def test_example_runs_cleanly(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "examples must narrate what they show"
+
+
+def test_expected_example_set_present():
+    names = {s.stem for s in SCRIPTS}
+    assert {
+        "quickstart",
+        "loop_invariant_sinking",
+        "irreducible_flow",
+        "faint_code",
+        "optimizer_pipeline",
+        "hot_region_optimization",
+        "compile_and_run",
+    } <= names

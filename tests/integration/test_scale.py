@@ -1,0 +1,31 @@
+"""Scale sanity: the full pipeline on a few-hundred-instruction program
+completes promptly with the Section 6 statistics in their expected
+ranges — the in-suite witness of the complexity study."""
+
+from repro.core import pde
+from repro.workloads import random_structured_program
+
+from ..helpers import assert_semantics_preserved
+
+
+class TestModeratelyLargePrograms:
+    def test_pde_on_250_statement_program(self):
+        graph = random_structured_program(seed=77, size=250, n_variables=8)
+        result = pde(graph)
+        stats = result.stats
+        # Section 6 expectations at this scale:
+        assert stats.rounds <= 12  # far below the linear conjecture
+        assert stats.code_growth_factor < 3.0  # w = O(1)
+        assert result.graph.instruction_count() <= stats.peak_instructions
+        assert_semantics_preserved(result.original, result.graph, seeds=range(3))
+
+    def test_dead_analysis_on_thousand_instructions(self):
+        from repro.dataflow.dead import analyze_dead
+        from repro.ir.splitting import split_critical_edges
+
+        graph = split_critical_edges(
+            random_structured_program(seed=5, size=1000, n_variables=10)
+        )
+        dead = analyze_dead(graph)
+        # Bit-vector behaviour: bounded revisits per block.
+        assert dead.result.transfer_evaluations <= 12 * len(graph.nodes())

@@ -1,0 +1,106 @@
+"""Unit tests for the reference interpreter."""
+
+import pytest
+
+from repro.interp.interpreter import (
+    DecisionSequence,
+    InterpreterError,
+    execute,
+)
+from repro.ir.parser import parse_program
+
+
+class TestStraightLine:
+    def test_outputs_in_order(self):
+        g = parse_program("x := 2; out(x); out(x + 1);")
+        run = execute(g)
+        assert run.outputs == [2, 3]
+
+    def test_env_defaults_to_zero(self):
+        run = execute(parse_program("out(a + b);"))
+        assert run.outputs == [0]
+
+    def test_initial_env_respected(self):
+        run = execute(parse_program("out(a + b);"), env={"a": 2, "b": 3})
+        assert run.outputs == [5]
+
+    def test_executed_counts_per_pattern(self):
+        g = parse_program("x := 1; x := 1; y := 2; out(x);")
+        run = execute(g)
+        assert run.executed == {"x := 1": 2, "y := 2": 1}
+        assert run.total_assignments == 3
+
+    def test_trace_records_blocks(self):
+        g = parse_program("out(x);")
+        run = execute(g)
+        assert run.trace[0] == "s" and run.trace[-1] == "e"
+
+
+class TestBranches:
+    COND = "if (x > 0) { out(1); } else { out(2); }"
+
+    def test_conditional_branch_true(self):
+        run = execute(parse_program(self.COND), env={"x": 5})
+        assert run.outputs == [1]
+
+    def test_conditional_branch_false(self):
+        run = execute(parse_program(self.COND), env={"x": -5})
+        assert run.outputs == [2]
+
+    def test_nondeterministic_branch_uses_decisions(self):
+        g = parse_program("if ? { out(1); } else { out(2); }")
+        assert execute(g, decisions=DecisionSequence([0])).outputs == [1]
+        assert execute(g, decisions=DecisionSequence([1])).outputs == [2]
+
+    def test_decisions_reduced_modulo_fanout(self):
+        g = parse_program("if ? { out(1); } else { out(2); }")
+        assert execute(g, decisions=DecisionSequence([7])).outputs == [2]
+
+    def test_missing_decisions_raise(self):
+        g = parse_program("if ? { out(1); } else { out(2); }")
+        with pytest.raises(InterpreterError):
+            execute(g)
+
+    def test_exhausted_decisions_raise(self):
+        g = parse_program("if ? { out(1); } if ? { out(2); }")
+        with pytest.raises(InterpreterError):
+            execute(g, decisions=DecisionSequence([0]))
+
+    def test_force_oracle_overrides_condition(self):
+        g = parse_program(self.COND)
+        run = execute(g, env={"x": 5}, decisions=DecisionSequence([1]), force_oracle=True)
+        assert run.outputs == [2]
+
+
+class TestLoops:
+    def test_while_loop_executes(self):
+        g = parse_program("i := 3; while (i > 0) { i := i - 1; } out(i);")
+        run = execute(g)
+        assert run.outputs == [0]
+        assert run.executed["i := i - 1"] == 3
+
+    def test_step_limit_enforced(self):
+        g = parse_program("while (1 > 0) { x := x + 1; }")
+        with pytest.raises(InterpreterError):
+            execute(g, max_steps=50)
+
+
+class TestErrors:
+    def test_division_by_zero_recorded(self):
+        run = execute(parse_program("out(1); x := 1 / z; out(2);"))
+        assert run.outputs == [1]
+        assert run.error is not None and "zero" in run.error
+
+    def test_observable_combines_outputs_and_error(self):
+        run = execute(parse_program("out(1); x := 1 / z;"))
+        outputs, error = run.observable()
+        assert outputs == (1,) and error is not None
+
+
+class TestDecisionSequence:
+    def test_reset_allows_replay(self):
+        d = DecisionSequence([1, 0])
+        g = parse_program("if ? { out(1); } else { out(2); }")
+        first = execute(g, decisions=d)
+        second = execute(g, decisions=d.reset())
+        assert first.outputs == second.outputs

@@ -1,0 +1,64 @@
+"""Unit tests for path enumeration."""
+
+import pytest
+
+from repro.interp.paths import count_pattern_on_path, enumerate_paths
+from repro.ir.parser import parse_program
+
+DIAMOND = parse_program(
+    """
+    graph
+    block s -> 1
+    block 1 { y := a + b } -> 2, 3
+    block 2 {} -> 4
+    block 3 {} -> 4
+    block 4 { out(y) } -> e
+    block e
+    """
+)
+
+LOOP = parse_program(
+    """
+    graph
+    block s -> 1
+    block 1 {} -> 2
+    block 2 { x := x + 1 } -> 3
+    block 3 {} -> 2, 4
+    block 4 { out(x) } -> e
+    block e
+    """
+)
+
+
+class TestEnumeratePaths:
+    def test_diamond_has_two_paths(self):
+        paths = list(enumerate_paths(DIAMOND, 1))
+        assert len(paths) == 2
+        assert all(p[0] == "s" and p[-1] == "e" for p in paths)
+
+    def test_loop_paths_bounded_by_edge_repeats(self):
+        # The body uses edge (2,3) once per iteration, so k edge repeats
+        # allow exactly k loop executions: k paths plus none beyond.
+        assert len(list(enumerate_paths(LOOP, 1))) == 1
+        assert len(list(enumerate_paths(LOOP, 2))) == 2
+        assert len(list(enumerate_paths(LOOP, 3))) == 3
+
+    def test_paths_are_genuine_walks(self):
+        for path in enumerate_paths(LOOP, 2):
+            for src, dst in zip(path, path[1:]):
+                assert dst in LOOP.successors(src)
+
+    def test_limit_guard(self):
+        with pytest.raises(RuntimeError):
+            list(enumerate_paths(LOOP, 2, limit=1))
+
+
+class TestCountPatternOnPath:
+    def test_counts_loop_iterations(self):
+        paths = sorted(enumerate_paths(LOOP, 3), key=len)
+        counts = [count_pattern_on_path(LOOP, p, "x := x + 1") for p in paths]
+        assert counts == [1, 2, 3]
+
+    def test_zero_for_absent_pattern(self):
+        path = next(iter(enumerate_paths(DIAMOND, 1)))
+        assert count_pattern_on_path(DIAMOND, path, "zz := 1") == 0

@@ -1,0 +1,90 @@
+"""Unit tests for the Monte-Carlo profiler."""
+
+from repro.core import pde
+from repro.interp.profile import collect_profile, expected_cost, hottest_blocks
+from repro.ir.parser import parse_program
+
+LOOPY = """
+graph
+block s -> 1
+block 1 { x := a + b } -> 2
+block 2 { q := q + 1 } -> 2, 3
+block 3 { out(x) } -> e
+block e
+"""
+
+
+class TestCollectProfile:
+    def test_deterministic_per_seed(self):
+        g = parse_program(LOOPY)
+        a = collect_profile(g, trials=50, seed=3)
+        b = collect_profile(g, trials=50, seed=3)
+        assert a.total_assignments == b.total_assignments
+        assert a.block_visits == b.block_visits
+
+    def test_different_seeds_differ(self):
+        g = parse_program(LOOPY)
+        a = collect_profile(g, trials=50, seed=1)
+        b = collect_profile(g, trials=50, seed=2)
+        assert a.total_assignments != b.total_assignments
+
+    def test_counts_runs_and_skips(self):
+        g = parse_program(LOOPY)
+        profile = collect_profile(g, trials=30, seed=0)
+        assert profile.runs + profile.skipped == 30
+        assert profile.runs > 0
+
+    def test_per_pattern_counts(self):
+        g = parse_program(LOOPY)
+        profile = collect_profile(g, trials=30, seed=0)
+        # x := a+b executes exactly once per completed run.
+        assert profile.per_pattern["x := a + b"] == profile.runs
+
+    def test_loop_block_hotter_than_straight_line(self):
+        g = parse_program(LOOPY)
+        profile = collect_profile(g, trials=60, seed=0)
+        assert profile.frequency("2") > profile.frequency("1")
+
+    def test_empty_profile_mean_is_zero(self):
+        from repro.interp.profile import Profile
+
+        assert Profile().mean_assignments == 0.0
+        assert Profile().frequency("x") == 0.0
+
+
+class TestExpectedCost:
+    def test_pde_never_increases_expected_cost(self):
+        g = parse_program(LOOPY)
+        result = pde(g)
+        before = expected_cost(result.original, trials=60, seed=5)
+        after = expected_cost(result.graph, trials=60, seed=5)
+        assert after <= before
+
+    def test_partially_dead_program_improves(self):
+        g = parse_program(
+            """
+            graph
+            block s -> 1
+            block 1 { y := a + b } -> 2, 3
+            block 2 {} -> 4
+            block 3 { y := 4 } -> 4
+            block 4 { out(y) } -> e
+            block e
+            """
+        )
+        result = pde(g)
+        before = expected_cost(result.original, trials=80, seed=5)
+        after = expected_cost(result.graph, trials=80, seed=5)
+        assert after < before  # half the paths skip y := a+b now
+
+
+class TestHottestBlocks:
+    def test_loop_body_ranks_first(self):
+        g = parse_program(LOOPY)
+        ranked = hottest_blocks(g, top=2, trials=40, seed=0)
+        assert ranked[0][0] == "2"
+
+    def test_excludes_start_and_end(self):
+        g = parse_program(LOOPY)
+        names = [name for name, _freq in hottest_blocks(g, top=10, trials=20)]
+        assert "s" not in names and "e" not in names

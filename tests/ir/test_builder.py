@@ -1,0 +1,67 @@
+"""Unit tests for the programmatic graph builder."""
+
+import pytest
+
+from repro.ir.builder import GraphBuilder, block_statements
+from repro.ir.parser import parse_statement
+from repro.ir.stmts import Assign
+from repro.ir.validate import validate
+
+
+class TestBlockStatements:
+    def test_none_is_empty(self):
+        assert block_statements(None) == []
+
+    def test_source_string_split_on_semicolons(self):
+        stmts = block_statements("x := 1; out(x);")
+        assert [str(s) for s in stmts] == ["x := 1", "out(x)"]
+
+    def test_single_statement_object(self):
+        stmt = parse_statement("x := 1")
+        assert block_statements(stmt) == [stmt]
+
+    def test_sequence_of_statements(self):
+        stmts = [parse_statement("x := 1"), parse_statement("out(x)")]
+        assert block_statements(stmts) == stmts
+
+
+class TestGraphBuilder:
+    def test_figure_style_construction(self):
+        g = (
+            GraphBuilder()
+            .block(1, "y := a + b")
+            .block(2)
+            .block(3, "y := 4")
+            .block(4, "out(y)")
+            .chain("s", 1)
+            .edges((1, 2), (1, 3), (2, 4), (3, 4))
+            .chain(4, "e")
+            .build()
+        )
+        validate(g, strict=True)
+        assert g.successors("1") == ("2", "3")
+        assert isinstance(g.statements("1")[0], Assign)
+
+    def test_integer_names_coerced(self):
+        g = GraphBuilder().block(7, "out(x)").chain("s", 7, "e").build()
+        assert g.has_block("7")
+
+    def test_edge_creates_blocks_on_demand(self):
+        g = GraphBuilder().chain("s", "a", "b", "e").build()
+        assert g.has_block("a") and g.has_block("b")
+
+    def test_block_redefinition_replaces_statements(self):
+        builder = GraphBuilder().block("a", "x := 1")
+        builder.block("a", "x := 2")
+        g = builder.chain("s", "a", "e").build()
+        assert [str(s) for s in g.statements("a")] == ["x := 2"]
+
+    def test_build_twice_rejected(self):
+        builder = GraphBuilder().chain("s", "e")
+        builder.build()
+        with pytest.raises(RuntimeError):
+            builder.build()
+
+    def test_globals_passed_through(self):
+        g = GraphBuilder(globals_=("g",)).chain("s", "e").build()
+        assert g.globals == frozenset({"g"})

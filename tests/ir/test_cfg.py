@@ -1,0 +1,139 @@
+"""Unit tests for the flow-graph container."""
+
+import pytest
+
+from repro.ir.cfg import FlowGraph, FlowGraphError
+from repro.ir.parser import parse_statement
+
+
+def simple_graph() -> FlowGraph:
+    g = FlowGraph()
+    g.add_block("1", [parse_statement("x := a + b")])
+    g.add_block("2", [parse_statement("out(x)")])
+    g.add_edge("s", "1")
+    g.add_edge("1", "2")
+    g.add_edge("2", "e")
+    return g
+
+
+class TestConstruction:
+    def test_start_and_end_exist(self):
+        g = FlowGraph()
+        assert g.has_block("s") and g.has_block("e")
+        assert len(g) == 2
+
+    def test_duplicate_block_rejected(self):
+        g = FlowGraph()
+        g.add_block("1")
+        with pytest.raises(FlowGraphError):
+            g.add_block("1")
+
+    def test_duplicate_edge_rejected(self):
+        g = simple_graph()
+        with pytest.raises(FlowGraphError):
+            g.add_edge("1", "2")
+
+    def test_edge_into_start_rejected(self):
+        g = simple_graph()
+        with pytest.raises(FlowGraphError):
+            g.add_edge("1", "s")
+
+    def test_edge_out_of_end_rejected(self):
+        g = simple_graph()
+        with pytest.raises(FlowGraphError):
+            g.add_edge("e", "1")
+
+    def test_edge_to_unknown_block_rejected(self):
+        g = FlowGraph()
+        with pytest.raises(FlowGraphError):
+            g.add_edge("s", "ghost")
+
+    def test_remove_edge(self):
+        g = simple_graph()
+        g.remove_edge("1", "2")
+        assert g.successors("1") == ()
+        assert g.predecessors("2") == ()
+
+    def test_remove_missing_edge_rejected(self):
+        g = simple_graph()
+        with pytest.raises(FlowGraphError):
+            g.remove_edge("2", "1")
+
+    def test_custom_start_end_names(self):
+        g = FlowGraph(start="entry", end="exit")
+        assert g.has_block("entry") and g.has_block("exit")
+
+
+class TestInspection:
+    def test_successor_order_preserved(self):
+        g = FlowGraph()
+        g.add_block("f")
+        g.add_block("t1")
+        g.add_block("t2")
+        g.add_edge("f", "t2")
+        g.add_edge("f", "t1")
+        assert g.successors("f") == ("t2", "t1")
+
+    def test_instruction_count(self):
+        assert simple_graph().instruction_count() == 2
+
+    def test_variables_include_globals(self):
+        g = FlowGraph(globals_=("g",))
+        assert "g" in g.variables()
+
+    def test_variables_cover_uses_and_defs(self):
+        assert simple_graph().variables() == frozenset({"a", "b", "x"})
+
+    def test_assignment_patterns_in_first_occurrence_order(self):
+        g = FlowGraph()
+        g.add_block("1", [parse_statement("y := 1"), parse_statement("x := a + b")])
+        g.add_edge("s", "1")
+        g.add_edge("1", "e")
+        assert g.assignment_patterns() == ("y := 1", "x := a + b")
+
+    def test_pattern_occurrences(self):
+        g = FlowGraph()
+        stmt = parse_statement("x := a + b")
+        g.add_block("1", [stmt, parse_statement("out(x)"), stmt])
+        g.add_edge("s", "1")
+        g.add_edge("1", "e")
+        assert g.pattern_occurrences("x := a + b") == [("1", 0), ("1", 2)]
+
+    def test_branch_of(self):
+        g = FlowGraph()
+        g.add_block("1", [parse_statement("branch x > 0")])
+        assert g.branch_of("1") is not None
+        g.set_statements("1", [parse_statement("x := 1")])
+        assert g.branch_of("1") is None
+
+
+class TestCopyAndEquality:
+    def test_copy_is_independent(self):
+        g = simple_graph()
+        clone = g.copy()
+        clone.set_statements("1", [])
+        assert g.statements("1") != clone.statements("1")
+
+    def test_copy_equal_to_original(self):
+        g = simple_graph()
+        assert g == g.copy()
+        assert hash(g) == hash(g.copy())
+
+    def test_same_shape_ignores_statements(self):
+        g = simple_graph()
+        clone = g.copy()
+        clone.set_statements("1", [])
+        assert g.same_shape(clone)
+        assert g != clone
+
+    def test_different_edges_not_same_shape(self):
+        g = simple_graph()
+        clone = g.copy()
+        clone.remove_edge("1", "2")
+        assert not g.same_shape(clone)
+
+    def test_fingerprint_changes_with_statements(self):
+        g = simple_graph()
+        before = g.fingerprint()
+        g.set_statements("2", [])
+        assert g.fingerprint() != before

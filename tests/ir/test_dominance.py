@@ -1,0 +1,70 @@
+"""Unit tests for dominator computation."""
+
+from repro.ir.dominance import dominates, dominators
+from repro.ir.parser import parse_program
+
+DIAMOND = """
+graph
+block s -> 1
+block 1 {} -> 2, 3
+block 2 {} -> 4
+block 3 {} -> 4
+block 4 { out(x) } -> e
+block e
+"""
+
+LOOP = """
+graph
+block s -> 1
+block 1 {} -> 2
+block 2 {} -> 3
+block 3 {} -> 2, 4
+block 4 { out(x) } -> e
+block e
+"""
+
+
+class TestDominators:
+    def test_start_dominates_everything(self):
+        g = parse_program(DIAMOND)
+        dom = dominators(g)
+        assert all("s" in dom[n] for n in g.nodes())
+
+    def test_every_node_dominates_itself(self):
+        g = parse_program(DIAMOND)
+        dom = dominators(g)
+        assert all(n in dom[n] for n in g.nodes())
+
+    def test_branches_do_not_dominate_join(self):
+        g = parse_program(DIAMOND)
+        dom = dominators(g)
+        assert "2" not in dom["4"] and "3" not in dom["4"]
+        assert "1" in dom["4"]
+
+    def test_loop_header_dominates_body(self):
+        g = parse_program(LOOP)
+        dom = dominators(g)
+        assert "2" in dom["3"]
+        assert "3" not in dom["2"]  # back edge does not grant dominance
+
+    def test_dominates_helper(self):
+        g = parse_program(DIAMOND)
+        assert dominates(g, "1", "4")
+        assert not dominates(g, "2", "4")
+
+    def test_irreducible_two_entry_loop(self):
+        g = parse_program(
+            """
+            graph
+            block s -> 0
+            block 0 {} -> 1, 2
+            block 1 {} -> 2
+            block 2 {} -> 1, 3
+            block 3 { out(x) } -> e
+            block e
+            """
+        )
+        dom = dominators(g)
+        # Neither loop node dominates the other: both are entered from 0.
+        assert "1" not in dom["2"] and "2" not in dom["1"]
+        assert "0" in dom["3"]

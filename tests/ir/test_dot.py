@@ -1,0 +1,33 @@
+"""Unit tests for Graphviz export."""
+
+from repro.ir.dot import to_dot
+from repro.ir.parser import parse_program
+
+
+class TestToDot:
+    def test_contains_all_nodes_and_edges(self):
+        g = parse_program("x := 1; out(x);")
+        dot = to_dot(g)
+        for node in g.nodes():
+            assert f'"{node}"' in dot
+        for src, dst in g.edges():
+            assert f'"{src}" -> "{dst}";' in dot
+
+    def test_statements_appear_in_labels(self):
+        g = parse_program("x := a + b; out(x);")
+        dot = to_dot(g)
+        assert "x := a + b" in dot
+
+    def test_title_rendered_and_escaped(self):
+        g = parse_program("out(x);")
+        dot = to_dot(g, title='before "quote"')
+        assert 'label="before \\"quote\\""' in dot
+
+    def test_start_end_drawn_as_circles(self):
+        g = parse_program("out(x);")
+        dot = to_dot(g)
+        assert dot.count("shape=circle") == 2
+
+    def test_valid_digraph_wrapper(self):
+        dot = to_dot(parse_program("out(x);"))
+        assert dot.startswith("digraph") and dot.rstrip().endswith("}")

@@ -1,0 +1,122 @@
+"""Unit tests for the expression IR."""
+
+import pytest
+
+from repro.ir.exprs import (
+    BinOp,
+    Const,
+    EvalError,
+    UnaryOp,
+    Var,
+    rename,
+    substitute,
+)
+
+
+class TestConstruction:
+    def test_var_str(self):
+        assert str(Var("x")) == "x"
+
+    def test_const_str(self):
+        assert str(Const(42)) == "42"
+
+    def test_binop_str_parenthesises_compound_operands(self):
+        expr = BinOp("*", BinOp("+", Var("a"), Var("b")), Const(2))
+        assert str(expr) == "(a + b) * 2"
+
+    def test_unary_str(self):
+        assert str(UnaryOp("-", Var("x"))) == "-x"
+        assert str(UnaryOp("!", BinOp("<", Var("a"), Var("b")))) == "!(a < b)"
+
+    def test_unknown_binary_operator_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp("**", Var("a"), Var("b"))
+
+    def test_unknown_unary_operator_rejected(self):
+        with pytest.raises(ValueError):
+            UnaryOp("~", Var("a"))
+
+
+class TestEquality:
+    def test_structural_equality(self):
+        assert BinOp("+", Var("a"), Var("b")) == BinOp("+", Var("a"), Var("b"))
+
+    def test_operand_order_matters(self):
+        assert BinOp("+", Var("a"), Var("b")) != BinOp("+", Var("b"), Var("a"))
+
+    def test_hashable(self):
+        seen = {BinOp("+", Var("a"), Var("b")), Var("a"), Const(1)}
+        assert BinOp("+", Var("a"), Var("b")) in seen
+
+
+class TestVariables:
+    def test_var(self):
+        assert Var("x").variables() == frozenset({"x"})
+
+    def test_const(self):
+        assert Const(3).variables() == frozenset()
+
+    def test_nested(self):
+        expr = BinOp("-", BinOp("*", Var("a"), Var("b")), UnaryOp("-", Var("c")))
+        assert expr.variables() == frozenset({"a", "b", "c"})
+
+
+class TestEvaluate:
+    ENV = {"a": 7, "b": 3, "c": 0}
+
+    def test_arithmetic(self):
+        assert BinOp("+", Var("a"), Var("b")).evaluate(self.ENV) == 10
+        assert BinOp("-", Var("a"), Var("b")).evaluate(self.ENV) == 4
+        assert BinOp("*", Var("a"), Var("b")).evaluate(self.ENV) == 21
+
+    def test_truncating_division(self):
+        assert BinOp("/", Const(7), Const(2)).evaluate({}) == 3
+        assert BinOp("/", Const(-7), Const(2)).evaluate({}) == -3
+
+    def test_modulo_matches_truncation(self):
+        assert BinOp("%", Const(7), Const(2)).evaluate({}) == 1
+        assert BinOp("%", Const(-7), Const(2)).evaluate({}) == -1
+
+    def test_comparisons_return_zero_or_one(self):
+        assert BinOp("<", Var("b"), Var("a")).evaluate(self.ENV) == 1
+        assert BinOp(">=", Var("b"), Var("a")).evaluate(self.ENV) == 0
+        assert BinOp("==", Var("c"), Const(0)).evaluate(self.ENV) == 1
+        assert BinOp("!=", Var("c"), Const(0)).evaluate(self.ENV) == 0
+
+    def test_unary(self):
+        assert UnaryOp("-", Var("a")).evaluate(self.ENV) == -7
+        assert UnaryOp("!", Var("c")).evaluate(self.ENV) == 1
+        assert UnaryOp("!", Var("a")).evaluate(self.ENV) == 0
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(EvalError):
+            BinOp("/", Var("a"), Var("c")).evaluate(self.ENV)
+
+    def test_modulo_by_zero_raises(self):
+        with pytest.raises(EvalError):
+            BinOp("%", Var("a"), Var("c")).evaluate(self.ENV)
+
+    def test_uninitialised_variable_raises(self):
+        with pytest.raises(EvalError):
+            Var("nope").evaluate(self.ENV)
+
+
+class TestSubstitute:
+    def test_substitute_variable(self):
+        expr = BinOp("+", Var("a"), Var("b"))
+        assert substitute(expr, {"a": Const(1)}) == BinOp("+", Const(1), Var("b"))
+
+    def test_substitute_leaves_others(self):
+        assert substitute(Var("x"), {"y": Const(0)}) == Var("x")
+
+    def test_rename(self):
+        expr = UnaryOp("-", BinOp("*", Var("a"), Var("a")))
+        renamed = rename(expr, {"a": "z"})
+        assert renamed.variables() == frozenset({"z"})
+
+
+class TestSubterms:
+    def test_subterms_enumerates_all_nodes(self):
+        expr = BinOp("+", Var("a"), BinOp("*", Var("b"), Const(2)))
+        texts = [str(t) for t in expr.subterms()]
+        assert texts == ["a + (b * 2)", "a", "b * 2", "b", "2"]

@@ -1,0 +1,82 @@
+"""Unit tests for JSON interchange."""
+
+import json
+
+import pytest
+
+from repro.ir.jsonio import dump_graph, graph_from_json, graph_to_json, load_graph
+from repro.ir.parser import parse_program
+from repro.workloads import random_arbitrary_graph, random_structured_program
+
+SOURCE = """
+graph
+globals gv;
+block s -> 1
+block 1 { y := a + b; branch y > 0 } -> 2, 3
+block 2 { out(y) } -> 4
+block 3 { gv := 1 } -> 4
+block 4 {} -> e
+block e
+"""
+
+
+class TestRoundTrip:
+    def test_reference_program(self):
+        g = parse_program(SOURCE)
+        assert load_graph(dump_graph(g)) == g
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_structured(self, seed):
+        g = random_structured_program(seed, size=14)
+        assert load_graph(dump_graph(g)) == g
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_arbitrary(self, seed):
+        g = random_arbitrary_graph(seed, n_blocks=8)
+        assert load_graph(dump_graph(g)) == g
+
+    def test_after_optimisation(self):
+        from repro.core import pde
+
+        result = pde(parse_program(SOURCE))
+        assert load_graph(dump_graph(result.graph)) == result.graph
+
+
+class TestFormat:
+    def test_document_shape(self):
+        data = graph_to_json(parse_program(SOURCE))
+        assert data["format"] == "repro-flowgraph"
+        assert data["version"] == 1
+        assert data["globals"] == ["gv"]
+        names = {block["name"] for block in data["blocks"]}
+        assert {"s", "e", "1", "2", "3", "4"} <= names
+
+    def test_valid_json_text(self):
+        text = dump_graph(parse_program(SOURCE))
+        assert json.loads(text)["format"] == "repro-flowgraph"
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="not a repro-flowgraph"):
+            graph_from_json({"format": "something-else"})
+
+    def test_wrong_version_rejected(self):
+        data = graph_to_json(parse_program("out(x);"))
+        data["version"] = 99
+        with pytest.raises(ValueError, match="unsupported version"):
+            graph_from_json(data)
+
+    def test_malformed_statement_rejected(self):
+        data = graph_to_json(parse_program("out(x);"))
+        data["blocks"][0]["statements"] = ["this is not a statement :="]
+        from repro.ir.parser import ParseError
+
+        with pytest.raises(ParseError):
+            graph_from_json(data)
+
+    def test_edge_to_unknown_block_rejected(self):
+        data = graph_to_json(parse_program("out(x);"))
+        data["blocks"][0]["successors"] = ["ghost"]
+        from repro.ir.cfg import FlowGraphError
+
+        with pytest.raises(FlowGraphError):
+            graph_from_json(data)

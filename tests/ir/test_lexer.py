@@ -1,0 +1,73 @@
+"""Unit tests for the tokeniser."""
+
+import pytest
+
+from repro.ir.lexer import LexError, tokenize
+
+
+def kinds_and_texts(source):
+    return [(t.kind, t.text) for t in tokenize(source)]
+
+
+class TestTokens:
+    def test_assignment(self):
+        assert kinds_and_texts("x := a + b") == [
+            ("ident", "x"),
+            ("symbol", ":="),
+            ("ident", "a"),
+            ("symbol", "+"),
+            ("ident", "b"),
+            ("eof", ""),
+        ]
+
+    def test_numbers(self):
+        assert kinds_and_texts("12 345")[:2] == [("number", "12"), ("number", "345")]
+
+    def test_multichar_symbols_win_over_prefixes(self):
+        texts = [t.text for t in tokenize("a <= b >= c == d != e -> f := g")]
+        assert "<=" in texts and ">=" in texts and "==" in texts
+        assert "!=" in texts and "->" in texts and ":=" in texts
+
+    def test_single_char_symbols(self):
+        texts = [t.text for t in tokenize("( ) { } ; , ? < > ! - + * / %")]
+        assert texts[:-1] == "( ) { } ; , ? < > ! - + * / %".split()
+
+    def test_identifiers_with_underscores_and_digits(self):
+        assert kinds_and_texts("S1_2 v10 _tmp")[:3] == [
+            ("ident", "S1_2"),
+            ("ident", "v10"),
+            ("ident", "_tmp"),
+        ]
+
+    def test_comments_ignored(self):
+        tokens = tokenize("x := 1 # the rest is ignored := ;\ny := 2")
+        texts = [t.text for t in tokens if t.kind != "eof"]
+        assert texts == ["x", ":=", "1", "y", ":=", "2"]
+
+    def test_eof_always_last(self):
+        assert tokenize("")[-1].kind == "eof"
+        assert tokenize("x")[-1].kind == "eof"
+
+
+class TestPositions:
+    def test_line_tracking(self):
+        tokens = tokenize("a\nb\n  c")
+        a, b, c = tokens[0], tokens[1], tokens[2]
+        assert (a.line, b.line, c.line) == (1, 2, 3)
+        assert c.column == 3
+
+    def test_error_carries_position(self):
+        with pytest.raises(LexError) as info:
+            tokenize("x := $")
+        assert "line 1" in str(info.value)
+
+
+class TestTokenHelpers:
+    def test_is_symbol(self):
+        token = tokenize(":=")[0]
+        assert token.is_symbol(":=") and not token.is_symbol("=")
+
+    def test_is_ident(self):
+        token = tokenize("while")[0]
+        assert token.is_ident() and token.is_ident("while")
+        assert not token.is_ident("if")

@@ -1,0 +1,126 @@
+"""Unit tests for natural loop detection."""
+
+import pytest
+
+from repro.ir.loops import back_edges, irreducible_cycle_nodes, natural_loops
+from repro.ir.parser import parse_program
+from repro.workloads import irreducible_mesh, loop_chain, random_structured_program
+
+SIMPLE_LOOP = parse_program(
+    """
+    graph
+    block s -> 1
+    block 1 {} -> 2
+    block 2 { x := x + 1 } -> 3
+    block 3 {} -> 2, 4
+    block 4 { out(x) } -> e
+    block e
+    """
+)
+
+
+class TestBackEdges:
+    def test_loop_back_edge_found(self):
+        assert back_edges(SIMPLE_LOOP) == [("3", "2")]
+
+    def test_acyclic_graph_has_none(self):
+        assert back_edges(parse_program("x := 1; out(x);")) == []
+
+    def test_irreducible_cycle_has_no_back_edge(self):
+        g = parse_program(
+            """
+            graph
+            block s -> 0
+            block 0 {} -> 1, 2
+            block 1 {} -> 2
+            block 2 {} -> 1, 3
+            block 3 { out(x) } -> e
+            block e
+            """
+        )
+        assert back_edges(g) == []
+
+
+class TestNaturalLoops:
+    def test_body_of_simple_loop(self):
+        loops = natural_loops(SIMPLE_LOOP)
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.header == "2"
+        assert loop.body == frozenset({"2", "3"})
+        assert "4" not in loop
+
+    def test_nested_loops(self):
+        g = parse_program(
+            "while ? { while ? { x := x + 1; } y := y + 1; } out(x + y);"
+        )
+        loops = natural_loops(g)
+        assert len(loops) == 2
+        inner, outer = sorted(loops, key=len)
+        assert inner.body < outer.body
+
+    def test_loop_chain_produces_one_loop_per_segment(self):
+        g = loop_chain(3)
+        assert len(natural_loops(g)) == 3
+
+    def test_self_loop(self):
+        g = parse_program(
+            "graph\nblock s -> 1\nblock 1 { x := x + 1 } -> 1, 2\n"
+            "block 2 { out(x) } -> e\nblock e"
+        )
+        loops = natural_loops(g)
+        assert len(loops) == 1
+        assert loops[0].body == frozenset({"1"})
+
+
+class TestIrreducibleCycles:
+    def test_reducible_graphs_report_nothing(self):
+        assert irreducible_cycle_nodes(SIMPLE_LOOP) == frozenset()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_structured_report_nothing(self, seed):
+        g = random_structured_program(seed, size=16)
+        assert irreducible_cycle_nodes(g) == frozenset()
+
+    def test_mesh_cycles_reported(self):
+        g = irreducible_mesh(1)
+        nodes = irreducible_cycle_nodes(g)
+        assert {"l1", "r1"} <= nodes
+
+
+class TestLoopsAfterOptimisation:
+    def test_pde_keeps_loop_bodies_free_of_new_statements(self):
+        """Structural rendering of 'no motion into loops': after pde, no
+        loop body contains a pattern that was not inside that loop
+        before."""
+        from repro.core import pde
+
+        g = parse_program(
+            """
+            graph
+            block s -> 1
+            block 1 { x := a + b } -> 2
+            block 2 { q := q + 1 } -> 3
+            block 3 {} -> 2, 4
+            block 4 { out(x + q) } -> e
+            block e
+            """
+        )
+        result = pde(g)
+        before_loops = {
+            loop.header: {
+                stmt.pattern()
+                for node in loop.body
+                for stmt in result.original.statements(node)
+                if hasattr(stmt, "pattern")
+            }
+            for loop in natural_loops(result.original)
+        }
+        for loop in natural_loops(result.graph):
+            patterns = {
+                stmt.pattern()
+                for node in loop.body
+                for stmt in result.graph.statements(node)
+                if hasattr(stmt, "pattern")
+            }
+            assert patterns <= before_loops[loop.header]

@@ -1,0 +1,194 @@
+"""Unit tests for both surface forms of the program language."""
+
+import pytest
+
+from repro.ir.exprs import BinOp, Const, UnaryOp, Var
+from repro.ir.parser import ParseError, parse_expr, parse_program, parse_statement
+from repro.ir.stmts import Assign, Branch, Out, Skip
+from repro.ir.validate import validate
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        assert parse_expr("a + b * c") == BinOp(
+            "+", Var("a"), BinOp("*", Var("b"), Var("c"))
+        )
+
+    def test_left_associativity(self):
+        assert parse_expr("a - b - c") == BinOp(
+            "-", BinOp("-", Var("a"), Var("b")), Var("c")
+        )
+
+    def test_parentheses(self):
+        assert parse_expr("(a + b) * c") == BinOp(
+            "*", BinOp("+", Var("a"), Var("b")), Var("c")
+        )
+
+    def test_comparison_binds_loosest(self):
+        assert parse_expr("a + 1 < b * 2") == BinOp(
+            "<",
+            BinOp("+", Var("a"), Const(1)),
+            BinOp("*", Var("b"), Const(2)),
+        )
+
+    def test_unary(self):
+        assert parse_expr("-a * b") == BinOp("*", UnaryOp("-", Var("a")), Var("b"))
+        assert parse_expr("!(a < b)") == UnaryOp("!", BinOp("<", Var("a"), Var("b")))
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("a + b c")
+
+    def test_reserved_word_rejected_as_variable(self):
+        with pytest.raises(ParseError):
+            parse_expr("while + 1")
+
+
+class TestStatements:
+    def test_assignment(self):
+        assert parse_statement("x := a + b") == Assign(
+            "x", BinOp("+", Var("a"), Var("b"))
+        )
+
+    def test_out(self):
+        assert parse_statement("out(x + 1)") == Out(BinOp("+", Var("x"), Const(1)))
+
+    def test_skip(self):
+        assert parse_statement("skip") == Skip()
+
+    def test_branch(self):
+        assert parse_statement("branch x > 0") == Branch(
+            BinOp(">", Var("x"), Const(0))
+        )
+
+    def test_reserved_lhs_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("out := 1")
+
+
+class TestStructuredForm:
+    def test_straight_line(self):
+        g = parse_program("x := 1; out(x);")
+        validate(g, strict=True)
+        texts = [str(s) for n in g.nodes() for s in g.statements(n)]
+        assert texts == ["x := 1", "out(x)"]
+
+    def test_if_else_shape(self):
+        g = parse_program("if (c) { x := 1; } else { x := 2; } out(x);")
+        validate(g, strict=True)
+        forks = [n for n in g.nodes() if len(g.successors(n)) == 2]
+        assert len(forks) == 1
+        assert g.branch_of(forks[0]) is not None
+
+    def test_if_without_else_creates_bypass_edge(self):
+        g = parse_program("if ? { x := 1; } out(x);")
+        validate(g, strict=True)
+        fork = next(n for n in g.nodes() if len(g.successors(n)) == 2)
+        # One successor path skips the body entirely.
+        joins = [n for n in g.nodes() if len(g.predecessors(n)) == 2]
+        assert len(joins) == 1
+        assert g.branch_of(fork) is None  # '?' = nondeterministic
+
+    def test_while_shape(self):
+        g = parse_program("while (x > 0) { x := x - 1; } out(x);")
+        validate(g, strict=True)
+        header = next(n for n in g.nodes() if len(g.successors(n)) == 2)
+        assert g.branch_of(header) is not None
+        # The loop body leads back to the header.
+        body = g.successors(header)[0]
+        assert header in g.successors(body)
+
+    def test_globals_declaration(self):
+        g = parse_program("globals gx, gy; gx := 1;")
+        assert g.globals == frozenset({"gx", "gy"})
+
+    def test_nested_structures(self):
+        g = parse_program(
+            """
+            while ? {
+                if ? { x := x + 1; } else { skip; }
+            }
+            out(x);
+            """
+        )
+        validate(g, strict=True)
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("x := 1 out(x);")
+
+    def test_unmatched_brace_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("if ? { x := 1;")
+
+    def test_stray_close_brace_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("x := 1; }")
+
+
+class TestGraphForm:
+    SOURCE = """
+    graph
+    globals gv;
+    block s -> 1
+    block 1 { y := a + b } -> 2, 3
+    block 2 {} -> 4
+    block 3 { y := 4 } -> 4
+    block 4 { out(y) } -> e
+    block e
+    """
+
+    def test_blocks_and_edges(self):
+        g = parse_program(self.SOURCE)
+        validate(g, strict=True)
+        assert set(g.nodes()) == {"s", "e", "1", "2", "3", "4"}
+        assert g.successors("1") == ("2", "3")
+        assert g.globals == frozenset({"gv"})
+
+    def test_numeric_block_names_become_strings(self):
+        g = parse_program(self.SOURCE)
+        assert g.has_block("1")
+
+    def test_custom_start_end(self):
+        g = parse_program(
+            """
+            graph
+            start entry
+            end exit
+            block entry -> m
+            block m { out(x) } -> exit
+            block exit
+            """
+        )
+        assert g.start == "entry" and g.end == "exit"
+        validate(g, strict=True)
+
+    def test_edge_to_undeclared_block_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("graph\nblock s -> ghost")
+
+    def test_branch_statement_allowed(self):
+        g = parse_program(
+            """
+            graph
+            block s -> 1
+            block 1 { branch x > 0 } -> 2, 3
+            block 2 { out(x) } -> e
+            block 3 {} -> e
+            block e
+            """
+        )
+        validate(g, strict=True)
+        assert g.branch_of("1") is not None
+
+    def test_forward_references_allowed(self):
+        g = parse_program(
+            """
+            graph
+            block s -> 2
+            block 2 {} -> 1
+            block 1 { out(x) } -> e
+            block e
+            """
+        )
+        validate(g, strict=True)

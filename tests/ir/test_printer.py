@@ -1,0 +1,66 @@
+"""Unit tests for the pretty printer (round trip with the parser)."""
+
+from repro.ir.parser import parse_program
+from repro.ir.printer import format_block, format_graph, format_side_by_side
+from repro.ir.splitting import split_critical_edges
+
+
+SOURCE = """
+graph
+globals gv;
+block s -> 1
+block 1 { y := a + b; out(y) } -> 2, 3
+block 2 {} -> 4
+block 3 { y := 4 } -> 4
+block 4 { out(y) } -> e
+block e
+"""
+
+
+class TestFormatGraph:
+    def test_round_trip(self):
+        g = parse_program(SOURCE)
+        assert parse_program(format_graph(g)) == g
+
+    def test_round_trip_after_splitting(self):
+        g = split_critical_edges(parse_program(SOURCE))
+        assert parse_program(format_graph(g)) == g
+
+    def test_round_trip_structured_program(self):
+        g = parse_program("x := 1; while ? { x := x + 1; } out(x);")
+        assert parse_program(format_graph(g)) == g
+
+    def test_globals_emitted(self):
+        assert "globals gv;" in format_graph(parse_program(SOURCE))
+
+    def test_custom_start_end_emitted(self):
+        g = parse_program("graph\nstart a0\nend z9\nblock a0 -> z9\nblock z9")
+        text = format_graph(g)
+        assert "start a0" in text and "end z9" in text
+        assert parse_program(text) == g
+
+
+class TestFormatBlock:
+    def test_empty_block(self):
+        g = parse_program(SOURCE)
+        assert format_block(g, "2") == "block 2 -> 4"
+
+    def test_block_with_statements(self):
+        g = parse_program(SOURCE)
+        assert format_block(g, "3") == "block 3 { y := 4 } -> 4"
+
+    def test_terminal_block(self):
+        g = parse_program(SOURCE)
+        assert format_block(g, "e") == "block e"
+
+
+class TestSideBySide:
+    def test_contains_both_titles_and_columns(self):
+        g = parse_program(SOURCE)
+        h = g.copy()
+        h.set_statements("3", [])
+        text = format_side_by_side(g, h, "left", "right")
+        assert "left" in text and "right" in text
+        assert "y := 4" in text  # only in the left column
+        lines = text.splitlines()
+        assert len(lines) >= len(format_graph(g).splitlines())

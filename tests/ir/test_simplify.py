@@ -1,0 +1,104 @@
+"""Unit tests for the tidying utilities."""
+
+import pytest
+
+from repro.core import pde
+from repro.ir.parser import parse_program
+from repro.ir.simplify import merge_chains, remove_skips, tidy
+from repro.ir.validate import validate
+from repro.workloads import random_structured_program
+
+from ..helpers import assert_semantics_preserved
+
+
+class TestRemoveSkips:
+    def test_drops_skip_statements(self):
+        g = parse_program(
+            "graph\nblock s -> 1\nblock 1 { skip; x := 1; skip; out(x) } -> e\nblock e"
+        )
+        assert remove_skips(g)
+        assert [str(s) for s in g.statements("1")] == ["x := 1", "out(x)"]
+
+    def test_no_change_reports_false(self):
+        g = parse_program("graph\nblock s -> 1\nblock 1 { out(x) } -> e\nblock e")
+        assert not remove_skips(g)
+
+
+class TestMergeChains:
+    def test_fuses_straight_line_pairs(self):
+        g = parse_program(
+            """
+            graph
+            block s -> 1
+            block 1 { x := 1 } -> 2
+            block 2 { out(x) } -> e
+            block e
+            """
+        )
+        assert merge_chains(g)
+        assert not g.has_block("2")
+        assert [str(s) for s in g.statements("1")] == ["x := 1", "out(x)"]
+        validate(g)
+
+    def test_keeps_branching_structure(self):
+        g = parse_program(
+            """
+            graph
+            block s -> 1
+            block 1 {} -> 2, 3
+            block 2 {} -> 4
+            block 3 {} -> 4
+            block 4 { out(x) } -> e
+            block e
+            """
+        )
+        merge_chains(g)
+        # The fork and merge cannot fuse; branch targets may absorb
+        # nothing here (each has the join as multi-pred successor).
+        assert g.has_block("1") and g.has_block("4")
+        assert len(g.successors("1")) == 2
+
+    def test_does_not_touch_start_or_end(self):
+        g = parse_program("graph\nblock s -> 1\nblock 1 { out(x) } -> e\nblock e")
+        merge_chains(g)
+        assert g.has_block("s") and g.has_block("e") and g.has_block("1")
+
+
+class TestTidy:
+    def test_cleans_pde_leftovers(self):
+        result = pde(
+            parse_program(
+                """
+                graph
+                block s -> 1
+                block 1 {} -> 2
+                block 2 { y := a + b; c := y - d } -> 3
+                block 3 {} -> 2, 4
+                block 4 { out(c) } -> e
+                block e
+                """
+            )
+        )
+        tidied = tidy(result.graph)
+        assert tidied.instruction_count() == result.graph.instruction_count()
+        assert len(tidied) < len(result.graph)
+        validate(tidied)
+
+    def test_original_untouched(self):
+        g = parse_program("x := 1; skip; out(x);")
+        before = g.fingerprint()
+        tidy(g)
+        assert g.fingerprint() == before
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_semantics_preserved(self, seed):
+        g = random_structured_program(seed, size=16)
+        tidied = tidy(g)
+        validate(tidied)
+        # Different shapes — compare by interpreter replay only.
+        assert_semantics_preserved(g, tidied, seeds=range(4))
+
+    def test_idempotent(self):
+        g = random_structured_program(2, size=16)
+        once = tidy(g)
+        assert tidy(once) == once

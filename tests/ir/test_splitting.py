@@ -1,0 +1,98 @@
+"""Unit tests for critical edge splitting (paper Section 2.1, Figure 8)."""
+
+from repro.ir.parser import parse_program
+from repro.ir.splitting import (
+    critical_edges,
+    is_synthetic,
+    split_critical_edges,
+    synthetic_name,
+)
+from repro.ir.validate import validate
+
+# Figure 8(a): (1, 2) is critical — 1 branches, 2 merges.
+FIG8 = """
+graph
+block s -> 0, 1
+block 0 {} -> 2
+block 1 { x := a + b } -> 2, 3
+block 2 { out(x) } -> 4
+block 3 { x := 5 } -> 4
+block 4 {} -> e
+block e
+"""
+
+
+class TestCriticalEdges:
+    def test_detects_the_figure8_edge(self):
+        g = parse_program(FIG8)
+        assert critical_edges(g) == [("1", "2")]
+
+    def test_straight_line_has_none(self):
+        g = parse_program("x := 1; out(x);")
+        assert critical_edges(g) == []
+
+    def test_loop_back_edge_is_critical(self):
+        g = parse_program(
+            """
+            graph
+            block s -> 1
+            block 1 {} -> 2
+            block 2 { x := x + 1 } -> 2, 3
+            block 3 { out(x) } -> e
+            block e
+            """
+        )
+        assert ("2", "2") in critical_edges(g)
+
+
+class TestSplitting:
+    def test_result_has_no_critical_edges(self):
+        g = split_critical_edges(parse_program(FIG8))
+        assert critical_edges(g) == []
+        validate(g, strict=True, require_split=True)
+
+    def test_original_untouched(self):
+        g = parse_program(FIG8)
+        split_critical_edges(g)
+        assert critical_edges(g) == [("1", "2")]
+
+    def test_synthetic_node_inserted_on_the_edge(self):
+        g = split_critical_edges(parse_program(FIG8))
+        assert g.has_block("S1_2")
+        assert g.successors("S1_2") == ("2",)
+        assert "S1_2" in g.successors("1")
+        assert g.statements("S1_2") == ()
+
+    def test_successor_order_preserved(self):
+        g = split_critical_edges(parse_program(FIG8))
+        # 1's successors were (2, 3); the first slot now holds S1_2.
+        assert g.successors("1") == ("S1_2", "3")
+
+    def test_idempotent(self):
+        once = split_critical_edges(parse_program(FIG8))
+        twice = split_critical_edges(once)
+        assert once == twice
+
+    def test_paths_preserved_per_branching(self):
+        g = parse_program(FIG8)
+        h = split_critical_edges(g)
+        # Same number of s->e paths (synthetic nodes are pass-throughs).
+        from repro.interp.paths import enumerate_paths
+
+        assert len(list(enumerate_paths(g, 1))) == len(list(enumerate_paths(h, 1)))
+
+
+class TestSyntheticNames:
+    def test_name_shape(self):
+        g = parse_program(FIG8)
+        assert synthetic_name(g, "1", "2") == "S1_2"
+
+    def test_collision_avoidance(self):
+        g = parse_program(FIG8)
+        g.add_block("S1_2")
+        assert synthetic_name(g, "1", "2") == "S1_2_2"
+
+    def test_is_synthetic(self):
+        assert is_synthetic("S1_2")
+        assert not is_synthetic("b1")
+        assert not is_synthetic("S")

@@ -1,0 +1,97 @@
+"""Unit tests for the statement IR and its local predicates (Table 1)."""
+
+from repro.ir.exprs import BinOp, Const, Var
+from repro.ir.stmts import (
+    Assign,
+    Branch,
+    Out,
+    Skip,
+    blocks_pattern,
+    lhs_of,
+    make_assign,
+    pattern_of,
+)
+
+ADD = BinOp("+", Var("a"), Var("b"))
+
+
+class TestLocalPredicates:
+    def test_assign_used_is_rhs_variables(self):
+        stmt = Assign("x", ADD)
+        assert stmt.used() == frozenset({"a", "b"})
+        assert stmt.assign_used() == frozenset({"a", "b"})
+        assert stmt.relevant_used() == frozenset()
+
+    def test_assign_modified(self):
+        assert Assign("x", ADD).modified() == "x"
+
+    def test_out_is_relevant(self):
+        stmt = Out(ADD)
+        assert stmt.is_relevant()
+        assert stmt.relevant_used() == frozenset({"a", "b"})
+        assert stmt.assign_used() == frozenset()
+        assert stmt.modified() is None
+
+    def test_branch_is_relevant(self):
+        stmt = Branch(Var("c"))
+        assert stmt.is_relevant()
+        assert stmt.relevant_used() == frozenset({"c"})
+        assert stmt.modified() is None
+
+    def test_skip_touches_nothing(self):
+        stmt = Skip()
+        assert not stmt.is_relevant()
+        assert stmt.used() == frozenset()
+        assert stmt.modified() is None
+
+
+class TestPatterns:
+    def test_pattern_string(self):
+        assert Assign("x", ADD).pattern() == "x := a + b"
+
+    def test_same_pattern_compares_equal(self):
+        assert Assign("x", ADD) == Assign("x", BinOp("+", Var("a"), Var("b")))
+
+    def test_pattern_of_non_assignment_is_none(self):
+        assert pattern_of(Out(ADD)) is None
+        assert pattern_of(Skip()) is None
+
+    def test_lhs_of(self):
+        assert lhs_of(Assign("q", Const(1))) == "q"
+        assert lhs_of(Skip()) is None
+
+
+class TestBlocksPattern:
+    """Definition 3.2 discussion: what blocks the sinking of ``x := t``."""
+
+    RHS_VARS = frozenset({"a", "b"})
+
+    def test_modifying_an_operand_blocks(self):
+        assert blocks_pattern(Assign("a", Const(0)), "x", self.RHS_VARS)
+
+    def test_using_the_lhs_blocks(self):
+        assert blocks_pattern(Out(Var("x")), "x", self.RHS_VARS)
+        assert blocks_pattern(Assign("y", Var("x")), "x", self.RHS_VARS)
+
+    def test_modifying_the_lhs_blocks(self):
+        assert blocks_pattern(Assign("x", Const(3)), "x", self.RHS_VARS)
+
+    def test_unrelated_statement_does_not_block(self):
+        assert not blocks_pattern(Assign("z", Var("c")), "x", self.RHS_VARS)
+        assert not blocks_pattern(Out(Var("c")), "x", self.RHS_VARS)
+        assert not blocks_pattern(Skip(), "x", self.RHS_VARS)
+
+    def test_branch_blocks_only_via_lhs_use(self):
+        assert blocks_pattern(Branch(Var("x")), "x", self.RHS_VARS)
+        assert not blocks_pattern(Branch(Var("c")), "x", self.RHS_VARS)
+
+
+class TestMakeAssign:
+    def test_accepts_variable_name(self):
+        assert make_assign("x", "y") == Assign("x", Var("y"))
+
+    def test_accepts_integer(self):
+        assert make_assign("x", 5) == Assign("x", Const(5))
+
+    def test_accepts_expression(self):
+        assert make_assign("x", ADD) == Assign("x", ADD)

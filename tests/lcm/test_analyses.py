@@ -1,0 +1,97 @@
+"""Unit tests for the LCM analyses."""
+
+from repro.ir.parser import parse_program
+from repro.ir.splitting import split_critical_edges
+from repro.lcm.analyses import ExpressionUniverse, analyze_lcm
+
+DIAMOND = """
+graph
+block s -> 0
+block 0 -> 1, 2
+block 1 { x := a + b } -> 4
+block 2 {} -> 4
+block 4 { y := a + b; out(y); out(x) } -> e
+block e
+"""
+
+
+def analyses_for(src):
+    return analyze_lcm(split_critical_edges(parse_program(src)))
+
+
+class TestExpressionUniverse:
+    def test_collects_nontrivial_rhs(self):
+        g = parse_program(
+            "graph\nblock s -> 1\nblock 1 { x := a + b; y := 5; z := x } -> e\nblock e"
+        )
+        u = ExpressionUniverse(g)
+        assert u.keys() == ("a + b",)
+
+    def test_deduplicated(self):
+        g = parse_program(
+            "graph\nblock s -> 1\nblock 1 { x := a + b; y := a + b } -> e\nblock e"
+        )
+        assert len(ExpressionUniverse(g)) == 1
+
+
+class TestAnticipability:
+    def test_down_safe_where_all_paths_compute(self):
+        a = analyses_for(DIAMOND)
+        bit = a.expressions.universe.bit("a + b")
+        assert a.ant_in["4"] & bit
+        assert a.ant_in["1"] & bit
+
+    def test_not_down_safe_where_a_path_avoids_the_computation(self):
+        a = analyses_for(
+            """
+            graph
+            block s -> 0
+            block 0 -> 1, 2
+            block 1 { x := a + b; out(x) } -> 3
+            block 2 {} -> 3
+            block 3 {} -> e
+            block e
+            """
+        )
+        bit = a.expressions.universe.bit("a + b")
+        assert not a.ant_out["0"] & bit
+
+    def test_operand_modification_kills_anticipation(self):
+        a = analyses_for(
+            """
+            graph
+            block s -> 1
+            block 1 { a := 1 } -> 2
+            block 2 { x := a + b; out(x) } -> e
+            block e
+            """
+        )
+        bit = a.expressions.universe.bit("a + b")
+        assert not a.ant_in["1"] & bit
+        assert a.ant_out["1"] & bit
+
+
+class TestAvailability:
+    def test_available_after_computation(self):
+        a = analyses_for(DIAMOND)
+        bit = a.expressions.universe.bit("a + b")
+        assert a.av_out["1"] & bit
+        assert not a.av_out["2"] & bit
+        assert not a.av_in["4"] & bit  # one predecessor lacks it
+
+
+class TestInsertDelete:
+    def test_partial_redundancy_resolved_on_the_empty_branch(self):
+        a = analyses_for(DIAMOND)
+        bit = a.expressions.universe.bit("a + b")
+        inserts = [edge for edge in a.graph.edges() if a.insert(edge) & bit]
+        assert inserts == [("2", "4")]
+        assert a.delete("4") & bit
+        assert not a.delete("1") & bit
+
+    def test_no_action_without_redundancy(self):
+        a = analyses_for(
+            "graph\nblock s -> 1\nblock 1 { x := a + b; out(x) } -> e\nblock e"
+        )
+        bit = a.expressions.universe.bit("a + b")
+        assert all(not (a.insert(edge) & bit) for edge in a.graph.edges())

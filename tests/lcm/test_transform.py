@@ -1,0 +1,158 @@
+"""Unit tests for the lazy code motion transformation."""
+
+import pytest
+
+from repro.baselines import naive_sinking
+from repro.interp.paths import enumerate_paths
+from repro.ir.parser import parse_program
+from repro.lcm import expression_computation_count, lazy_code_motion
+from repro.workloads import random_structured_program
+
+from ..helpers import assert_semantics_preserved
+
+DIAMOND = """
+graph
+block s -> 0
+block 0 -> 1, 2
+block 1 { x := a + b } -> 4
+block 2 {} -> 4
+block 4 { y := a + b; out(y); out(x) } -> e
+block e
+"""
+
+LOOP_INVARIANT = """
+graph
+block s -> 1
+block 1 {} -> 2
+block 2 { x := a + b; out(x) } -> 3
+block 3 {} -> 2, 4
+block 4 { out(x) } -> e
+block e
+"""
+
+
+def count_on_paths(graph, key, repeats=2):
+    """Max static computations of ``key`` along any bounded path."""
+    best = 0
+    for path in enumerate_paths(graph, repeats):
+        count = 0
+        for node in path:
+            for stmt in graph.statements(node):
+                if (
+                    stmt.__class__.__name__ == "Assign"
+                    and str(stmt.rhs) == key
+                ):
+                    count += 1
+        best = max(best, count)
+    return best
+
+
+class TestDiamond:
+    def test_redundant_recomputation_removed(self):
+        res = lazy_code_motion(parse_program(DIAMOND))
+        # On the path through node 1, a+b is computed once, not twice.
+        assert count_on_paths(res.graph, "a + b") == 1
+        assert count_on_paths(res.original, "a + b") == 2
+
+    def test_semantics_preserved(self):
+        res = lazy_code_motion(parse_program(DIAMOND))
+        assert_semantics_preserved(res.original, res.graph)
+
+    def test_temp_recorded(self):
+        res = lazy_code_motion(parse_program(DIAMOND))
+        assert "a + b" in res.temporaries
+
+
+class TestLoopInvariant:
+    def test_invariant_hoisted_out_of_loop(self):
+        res = lazy_code_motion(parse_program(LOOP_INVARIANT))
+        # a+b is computed at most once per execution now.
+        assert count_on_paths(res.graph, "a + b", repeats=3) == 1
+
+    def test_semantics_preserved(self):
+        res = lazy_code_motion(parse_program(LOOP_INVARIANT))
+        assert_semantics_preserved(res.original, res.graph)
+
+
+class TestSafety:
+    def test_no_unsafe_hoisting_out_of_conditional(self):
+        # a+b is computed only on one branch: LCM must not move it above
+        # the fork (not down-safe there).
+        src = """
+        graph
+        block s -> 0
+        block 0 -> 1, 2
+        block 1 { x := a + b; out(x) } -> 3
+        block 2 { out(q) } -> 3
+        block 3 {} -> e
+        block e
+        """
+        res = lazy_code_motion(parse_program(src))
+        for node in ("s", "0"):
+            for stmt in res.graph.statements(node):
+                assert str(getattr(stmt, "rhs", "")) != "a + b"
+
+    def test_cannot_repair_naive_sinking_into_loop(self):
+        # The paper's Briggs/Cooper discussion (Figure 6): once x := a+b
+        # sits inside the loop, LCM cannot hoist it back out — hoisting
+        # above the loop entry would be unsafe because the zero-iteration
+        # path never needs it.
+        fig6_tail = parse_program(
+            """
+            graph
+            block s -> 1
+            block 1 { x := a + b } -> 5
+            block 5 {} -> 7, 10
+            block 7 { y := y + x } -> 5
+            block 10 { out(y) } -> e
+            block e
+            """
+        )
+        sunk = naive_sinking(fig6_tail)
+        assert count_on_paths(sunk.graph, "a + b", repeats=3) == 3  # impaired
+        repaired = lazy_code_motion(sunk.graph)
+        # Still computed once per iteration — LCM cannot save us.
+        assert count_on_paths(repaired.graph, "a + b", repeats=3) == 3
+
+
+class TestRandomised:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_semantics_preserved_on_random_programs(self, seed):
+        g = random_structured_program(seed, size=15)
+        res = lazy_code_motion(g)
+        assert_semantics_preserved(res.original, res.graph)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_path_computation_counts_never_increase(self, seed):
+        g = random_structured_program(seed, size=12, max_depth=1)
+        res = lazy_code_motion(g)
+        for key in res.analyses.expressions.keys():
+            assert count_on_paths(res.graph, key) <= count_on_paths(
+                res.original, key
+            ), key
+
+
+class TestIsolatedTreatment:
+    def test_untouched_expressions_keep_their_form(self):
+        # No redundancy anywhere: LCM must not introduce temporaries.
+        res = lazy_code_motion(
+            parse_program(
+                "graph\nblock s -> 1\nblock 1 { x := a + b; out(x) } -> e\nblock e"
+            )
+        )
+        texts = [str(s) for s in res.graph.statements("1")]
+        assert texts == ["x := a + b", "out(x)"]
+        assert not res.insertions and not res.rewrites
+
+    def test_only_active_expressions_get_temps(self):
+        res = lazy_code_motion(parse_program(DIAMOND))
+        # a+b participates; nothing else exists — exactly one temp.
+        assert set(res.temporaries) == {"a + b"}
+
+
+class TestHelpers:
+    def test_expression_computation_count(self):
+        g = parse_program(
+            "graph\nblock s -> 1\nblock 1 { x := a + b; y := a + b } -> e\nblock e"
+        )
+        assert expression_computation_count(g, "a + b") == 2

@@ -1,0 +1,126 @@
+"""Unit tests for copy propagation."""
+
+import pytest
+
+from repro.ir.parser import parse_program
+from repro.passes.copyprop import copy_propagation
+from repro.workloads import random_structured_program
+
+from ..helpers import assert_semantics_preserved, statements_of
+
+
+def propagate(src):
+    g = parse_program(src)
+    original = g.copy()
+    report = copy_propagation(g)
+    return original, g, report
+
+
+class TestLocalPropagation:
+    def test_straight_line_use_rewritten(self):
+        _o, g, report = propagate(
+            "graph\nblock s -> 1\nblock 1 { x := y; z := x + 1; out(z) } -> e\nblock e"
+        )
+        assert statements_of(g, "1")[1] == "z := y + 1"
+        assert report.changed
+
+    def test_redefined_source_blocks_propagation(self):
+        _o, g, _r = propagate(
+            "graph\nblock s -> 1\nblock 1 { x := y; y := 0; z := x + 1; out(z) } -> e\nblock e"
+        )
+        assert statements_of(g, "1")[2] == "z := x + 1"
+
+    def test_redefined_target_blocks_propagation(self):
+        _o, g, _r = propagate(
+            "graph\nblock s -> 1\nblock 1 { x := y; x := 3; z := x + 1; out(z) } -> e\nblock e"
+        )
+        assert statements_of(g, "1")[2] == "z := x + 1"
+
+    def test_out_and_branch_uses_rewritten(self):
+        _o, g, _r = propagate(
+            """
+            graph
+            block s -> 1
+            block 1 { x := y; branch x > 0 } -> 2, 3
+            block 2 { out(x) } -> e
+            block 3 {} -> e
+            block e
+            """
+        )
+        assert statements_of(g, "1")[1] == "branch y > 0"
+        assert statements_of(g, "2")[0] == "out(y)"
+
+
+class TestGlobalPropagation:
+    def test_copy_available_across_blocks(self):
+        _o, g, _r = propagate(
+            """
+            graph
+            block s -> 1
+            block 1 { x := y } -> 2
+            block 2 { out(x) } -> e
+            block e
+            """
+        )
+        assert statements_of(g, "2")[0] == "out(y)"
+
+    def test_one_sided_copy_not_available_at_merge(self):
+        _o, g, _r = propagate(
+            """
+            graph
+            block s -> 1
+            block 1 {} -> 2, 3
+            block 2 { x := y } -> 4
+            block 3 { x := 1 } -> 4
+            block 4 { out(x) } -> e
+            block e
+            """
+        )
+        assert statements_of(g, "4")[0] == "out(x)"
+
+    def test_copy_on_all_paths_is_available(self):
+        _o, g, _r = propagate(
+            """
+            graph
+            block s -> 1
+            block 1 {} -> 2, 3
+            block 2 { x := y } -> 4
+            block 3 { x := y } -> 4
+            block 4 { out(x) } -> e
+            block e
+            """
+        )
+        assert statements_of(g, "4")[0] == "out(y)"
+
+    def test_loop_invalidation(self):
+        # y is redefined around the loop: the copy is not available at
+        # the loop head.
+        _o, g, _r = propagate(
+            """
+            graph
+            block s -> 1
+            block 1 { x := y } -> 2
+            block 2 { out(x); y := y + 1 } -> 2, 3
+            block 3 {} -> e
+            block e
+            """
+        )
+        assert statements_of(g, "2")[0] == "out(x)"
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_preserved_on_random_programs(self, seed):
+        g = random_structured_program(seed, size=14)
+        original = g.copy()
+        # Iterate to a fixpoint (chains resolve one link per pass).
+        for _ in range(10):
+            if not copy_propagation(g).changed:
+                break
+        assert_semantics_preserved(original, g, seeds=range(4))
+
+    def test_no_copies_no_change(self):
+        _o, g, report = propagate(
+            "graph\nblock s -> 1\nblock 1 { x := a + 1; out(x) } -> e\nblock e"
+        )
+        assert not report.changed

@@ -1,0 +1,127 @@
+"""Unit tests for the assignment hoisting baseline (Dhamdhere [9])."""
+
+import pytest
+
+from repro.core import pde
+from repro.ir.parser import parse_program, parse_statement
+from repro.dataflow.patterns import PatternInfo
+from repro.passes.hoisting import (
+    assignment_hoisting,
+    hoist_then_eliminate,
+    hoisting_candidate_index,
+)
+from repro.ir.splitting import split_critical_edges
+from repro.workloads import random_arbitrary_graph, random_structured_program
+
+from ..helpers import all_statement_texts, assert_semantics_preserved, statements_of
+
+FIG1 = """
+graph
+block s -> 1
+block 1 { y := a + b } -> 2, 3
+block 2 {} -> 4
+block 3 { y := 4 } -> 4
+block 4 { out(y) } -> e
+block e
+"""
+
+Y_AB = PatternInfo.of(parse_statement("y := a + b"))
+
+
+class TestHoistingCandidates:
+    def test_first_unblocked_occurrence(self):
+        from repro.ir.builder import block_statements
+
+        stmts = tuple(block_statements("q := 1; y := a + b"))
+        assert hoisting_candidate_index(stmts, Y_AB) == 1
+
+    def test_preceding_operand_definition_blocks(self):
+        from repro.ir.builder import block_statements
+
+        stmts = tuple(block_statements("a := 1; y := a + b"))
+        assert hoisting_candidate_index(stmts, Y_AB) is None
+
+    def test_preceding_lhs_use_blocks(self):
+        from repro.ir.builder import block_statements
+
+        stmts = tuple(block_statements("out(y); y := a + b"))
+        assert hoisting_candidate_index(stmts, Y_AB) is None
+
+
+class TestHoistingMovesUp:
+    def test_common_assignment_rises_above_the_fork(self):
+        g = split_critical_edges(
+            parse_program(
+                """
+                graph
+                block s -> 1
+                block 1 {} -> 2, 3
+                block 2 { x := a + b; out(x) } -> 4
+                block 3 { x := a + b; out(x + 1) } -> 4
+                block 4 {} -> e
+                block e
+                """
+            )
+        )
+        assignment_hoisting(g)
+        texts = all_statement_texts(g)
+        assert texts.count("x := a + b") == 1
+        # It rose at least to block 1 (or to the exit of s).
+        assert "x := a + b" in statements_of(g, "1") + statements_of(g, "s")
+
+    def test_one_sided_assignment_stays_on_its_branch(self):
+        g = split_critical_edges(parse_program(FIG1))
+        assignment_hoisting(g)
+        # Nothing above block 1 changes; the assignment sits at s's exit
+        # or in block 1, still on every path — still partially dead.
+        texts = all_statement_texts(g)
+        assert texts.count("y := a + b") == 1
+
+
+class TestTheParperPoint:
+    """'…assignments are hoisted rather than sunk, which does not allow
+    any elimination of partially dead code.'"""
+
+    def test_no_elimination_on_figure1(self):
+        res = hoist_then_eliminate(parse_program(FIG1))
+        assert res.eliminated == 0
+        assert "y := a + b" in all_statement_texts(res.graph)
+
+    def test_pde_strictly_beats_hoisting_on_figure1(self):
+        from repro.core.optimality import is_better_or_equal
+
+        weak = hoist_then_eliminate(parse_program(FIG1))
+        strong = pde(parse_program(FIG1))
+        assert is_better_or_equal(strong.graph, weak.graph)
+        assert not is_better_or_equal(weak.graph, strong.graph)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_hoisting_never_beats_pde(self, seed):
+        from repro.core.optimality import is_better_or_equal
+
+        g = random_structured_program(seed, size=12, max_depth=1)
+        weak = hoist_then_eliminate(g)
+        strong = pde(g)
+        assert is_better_or_equal(strong.graph, weak.graph, max_edge_repeats=1)
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_preserved_structured(self, seed):
+        g = random_structured_program(seed, size=12)
+        res = hoist_then_eliminate(g)
+        assert_semantics_preserved(res.original, res.graph, seeds=range(4))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_preserved_arbitrary(self, seed):
+        g = random_arbitrary_graph(seed, n_blocks=7)
+        res = hoist_then_eliminate(g)
+        assert_semantics_preserved(res.original, res.graph, seeds=range(4))
+
+    def test_candidates_in_s_survive(self):
+        g = split_critical_edges(
+            parse_program("graph\nblock s -> 1\nblock 1 { x := 1; out(x) } -> e\nblock e")
+        )
+        assignment_hoisting(g)
+        assignment_hoisting(g)  # second pass: the statement now sits at s
+        assert all_statement_texts(g).count("x := 1") == 1

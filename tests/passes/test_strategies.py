@@ -1,0 +1,128 @@
+"""Unit tests for the Section 7 heuristic strategies."""
+
+import pytest
+
+from repro.core import pde
+from repro.core.optimality import is_better_or_equal
+from repro.ir.parser import parse_program
+from repro.passes.strategies import budgeted_pde, region_closure, regional_pde
+from repro.workloads import loop_chain, random_structured_program
+
+from ..helpers import assert_semantics_preserved
+
+
+class TestBudgetedPde:
+    def test_zero_budget_is_identity(self):
+        g = loop_chain(3)
+        result = budgeted_pde(g, 0)
+        assert result.graph == result.original
+
+    def test_quality_monotone_in_budget(self):
+        # Static instruction counts are NOT monotone (sinking duplicates
+        # instances across branches before dce cleans up — the paper's
+        # code-growth factor w); the path-wise dynamic cost is.
+        from repro.core.optimality import total_executable_statements
+
+        # Two edge repeats: the loop-drain saving only shows on paths
+        # iterating at least twice (single-iteration paths cost the same
+        # whether the pair sits in the body or after the loop).
+        g = loop_chain(3)
+        costs = [
+            sum(total_executable_statements(budgeted_pde(g, budget).graph, 2))
+            for budget in (0, 1, 2, 4, 8)
+        ]
+        assert costs == sorted(costs, reverse=True)
+        assert costs[-1] < costs[0]
+
+    def test_large_budget_matches_full_pde(self):
+        g = loop_chain(3)
+        assert budgeted_pde(g, 50).graph == pde(g).graph
+
+    @pytest.mark.parametrize("budget", [1, 2, 3])
+    def test_every_prefix_semantically_correct(self, budget):
+        g = loop_chain(2)
+        result = budgeted_pde(g, budget)
+        assert_semantics_preserved(result.original, result.graph, seeds=range(5))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_partial_results_never_worse_pathwise(self, seed):
+        g = random_structured_program(seed, size=12, max_depth=1)
+        result = budgeted_pde(g, 1)
+        assert is_better_or_equal(result.graph, result.original, max_edge_repeats=1)
+
+
+class TestRegionalPde:
+    def test_full_region_matches_pde(self):
+        g = loop_chain(2)
+        from repro.ir.splitting import split_critical_edges
+
+        split = split_critical_edges(g)
+        result = regional_pde(g, split.nodes())
+        assert result.graph == pde(g).graph
+
+    def test_empty_region_is_identity(self):
+        g = loop_chain(2)
+        result = regional_pde(g, ())
+        assert result.graph == result.original
+
+    def test_hot_loop_optimised_cold_code_untouched(self):
+        # Two loops; only the first is declared hot.
+        g = loop_chain(2)
+        hot = region_closure(g, ["b1", "t1", "x1"])
+        result = regional_pde(g, hot)
+        # The hot loop's body drained...
+        assert result.graph.statements("b1") == ()
+        # ...the cold loop's body is untouched.
+        assert len(result.graph.statements("b2")) == 2
+
+    def test_region_closure_adds_synthetic_nodes(self):
+        g = loop_chain(1)
+        hot = region_closure(g, ["b1", "t1", "x1"])
+        assert any(name.startswith("S") for name in hot)
+
+    def test_unknown_region_block_rejected(self):
+        with pytest.raises(ValueError):
+            regional_pde(loop_chain(1), ["nope"])
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_semantics_preserved_with_random_regions(self, seed):
+        import random
+
+        g = random_structured_program(seed, size=14)
+        from repro.ir.splitting import split_critical_edges
+
+        split = split_critical_edges(g)
+        rng = random.Random(seed)
+        nodes = [n for n in split.nodes() if n not in (split.start, split.end)]
+        region = frozenset(rng.sample(nodes, k=max(1, len(nodes) // 2)))
+        result = regional_pde(g, region)
+        assert_semantics_preserved(result.original, result.graph, seeds=range(4))
+
+    def test_loop_regions_pick_the_loops(self):
+        from repro.passes import loop_regions
+
+        g = loop_chain(2)
+        hot = loop_regions(g)
+        assert {"b1", "t1", "b2", "t2"} <= hot
+
+    def test_loop_regions_capture_the_loop_win(self):
+        from repro.core.optimality import total_executable_statements
+        from repro.ir.splitting import split_critical_edges
+        from repro.passes import loop_regions
+
+        g = loop_chain(2)
+        hot = loop_regions(g)
+        result = regional_pde(g, hot)
+        nothing = sum(total_executable_statements(split_critical_edges(g), 2))
+        regional = sum(total_executable_statements(result.graph, 2))
+        assert regional < nothing
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_regional_between_identity_and_full(self, seed):
+        g = random_structured_program(seed, size=12, max_depth=1)
+        from repro.ir.splitting import split_critical_edges
+
+        split = split_critical_edges(g)
+        result = regional_pde(g, split.nodes())
+        full = pde(g)
+        assert is_better_or_equal(full.graph, result.graph, max_edge_repeats=1)

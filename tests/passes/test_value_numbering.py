@@ -1,0 +1,147 @@
+"""Unit tests for dominator-based value numbering ([27] stand-in)."""
+
+import pytest
+
+from repro.ir.parser import parse_program
+from repro.lcm import lazy_code_motion
+from repro.passes.value_numbering import value_numbering
+from repro.workloads import random_arbitrary_graph, random_structured_program
+
+from ..helpers import assert_semantics_preserved, statements_of
+
+
+def run(src):
+    return value_numbering(parse_program(src))
+
+
+class TestLocalNumbering:
+    def test_recomputation_becomes_copy(self):
+        result = run(
+            "graph\nblock s -> 1\nblock 1 { x := a + b; y := a + b; out(x + y) } -> e\nblock e"
+        )
+        texts = statements_of(result.graph, "1")
+        assert texts[0] == "x := a + b"
+        assert texts[1] == "y := x"
+
+    def test_commutativity_detected(self):
+        result = run(
+            "graph\nblock s -> 1\nblock 1 { x := a + b; y := b + a; out(x + y) } -> e\nblock e"
+        )
+        assert statements_of(result.graph, "1")[1] == "y := x"
+
+    def test_non_commutative_not_merged(self):
+        result = run(
+            "graph\nblock s -> 1\nblock 1 { x := a - b; y := b - a; out(x + y) } -> e\nblock e"
+        )
+        assert statements_of(result.graph, "1")[1] == "y := b - a"
+
+    def test_operand_redefinition_kills_value(self):
+        result = run(
+            "graph\nblock s -> 1\n"
+            "block 1 { x := a + b; a := 0; y := a + b; out(x + y) } -> e\nblock e"
+        )
+        assert statements_of(result.graph, "1")[2] == "y := a + b"
+
+    def test_holder_redefinition_kills_value(self):
+        result = run(
+            "graph\nblock s -> 1\n"
+            "block 1 { x := a + b; x := 0; y := a + b; out(x + y) } -> e\nblock e"
+        )
+        assert statements_of(result.graph, "1")[2] == "y := a + b"
+
+    def test_self_referential_definition_not_bound(self):
+        # x := x + 1: the value 'x+1' no longer exists after the def.
+        result = run(
+            "graph\nblock s -> 1\n"
+            "block 1 { x := x + 1; y := x + 1; out(x + y) } -> e\nblock e"
+        )
+        assert statements_of(result.graph, "1")[1] == "y := x + 1"
+
+
+class TestDominatorScoping:
+    def test_value_flows_down_the_dominator_tree(self):
+        result = run(
+            """
+            graph
+            block s -> 1
+            block 1 { x := a + b } -> 2, 3
+            block 2 { y := a + b; out(y) } -> 4
+            block 3 { z := a + b; out(z) } -> 4
+            block 4 { out(x) } -> e
+            block e
+            """
+        )
+        assert statements_of(result.graph, "2")[0] == "y := x"
+        assert statements_of(result.graph, "3")[0] == "z := x"
+
+    def test_sibling_values_do_not_leak(self):
+        result = run(
+            """
+            graph
+            block s -> 1
+            block 1 {} -> 2, 3
+            block 2 { x := a + b; out(x) } -> 4
+            block 3 { y := a + b; out(y) } -> 4
+            block 4 {} -> e
+            block e
+            """
+        )
+        # Neither branch dominates the other: both keep their computation.
+        assert statements_of(result.graph, "2")[0] == "x := a + b"
+        assert statements_of(result.graph, "3")[0] == "y := a + b"
+
+    def test_sibling_redefinition_blocks_reuse_at_the_merge(self):
+        # Regression: a non-dominating sibling redefines an operand on
+        # one path into the merge — the merge must NOT reuse the value
+        # (only SSA-based dominator scoping could; we scope to EBBs).
+        result = run(
+            """
+            graph
+            block s -> 1
+            block 1 { x := a + b } -> 2, 3
+            block 2 { a := 0 } -> 4
+            block 3 { z := a + b; out(z) } -> 4
+            block 4 { w := a + b; out(w); out(x) } -> e
+            block e
+            """
+        )
+        assert statements_of(result.graph, "4")[0] == "w := a + b"
+        # But the dominated single-pred sibling may reuse it.
+        assert statements_of(result.graph, "3")[0] == "z := x"
+
+    def test_merge_redundancy_is_out_of_scope_but_lcm_gets_it(self):
+        # The Section 6.4 comparison in action: VN (dominator-scoped)
+        # misses the partial redundancy at the merge; LCM removes it.
+        src = """
+        graph
+        block s -> 0
+        block 0 -> 1, 2
+        block 1 { x := a + b } -> 4
+        block 2 {} -> 4
+        block 4 { y := a + b; out(y); out(x) } -> e
+        block e
+        """
+        vn = value_numbering(parse_program(src))
+        assert statements_of(vn.graph, "4")[0] == "y := a + b"  # missed
+        lcm = lazy_code_motion(parse_program(src))
+        assert statements_of(lcm.graph, "4")[0].startswith("y := h")  # caught
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_preserved_on_random_structured(self, seed):
+        g = random_structured_program(seed, size=16)
+        result = value_numbering(g)
+        assert_semantics_preserved(result.original, result.graph, seeds=range(4))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_preserved_on_random_arbitrary(self, seed):
+        g = random_arbitrary_graph(seed, n_blocks=8)
+        result = value_numbering(g)
+        assert_semantics_preserved(result.original, result.graph, seeds=range(4))
+
+    def test_report_contents(self):
+        result = run(
+            "graph\nblock s -> 1\nblock 1 { x := a + b; y := a + b; out(x + y) } -> e\nblock e"
+        )
+        assert result.changed and result.replaced == [("1", 1)]

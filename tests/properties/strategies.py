@@ -1,0 +1,84 @@
+"""Hypothesis strategies for programs.
+
+Two sources of programs:
+
+* :func:`structured_programs` / :func:`arbitrary_graphs` — seed-driven
+  wrappers around the workload generators (fast, broad coverage; the
+  seed shrinks, giving reproducible small counterexamples);
+* :func:`composed_programs` — a genuinely compositional strategy that
+  assembles structured source text from hypothesis primitives, so
+  shrinking minimises the *program*, not just a seed.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.ir.parser import parse_program
+from repro.workloads import random_arbitrary_graph, random_structured_program
+
+VARIABLES = ("u", "v", "w", "x", "y")
+
+
+def structured_programs(max_size: int = 24):
+    return st.builds(
+        random_structured_program,
+        seed=st.integers(0, 2**32 - 1),
+        size=st.integers(1, max_size),
+        n_variables=st.integers(1, 5),
+        max_depth=st.integers(0, 3),
+    )
+
+
+def arbitrary_graphs(max_blocks: int = 10):
+    return st.builds(
+        random_arbitrary_graph,
+        seed=st.integers(0, 2**32 - 1),
+        n_blocks=st.integers(1, max_blocks),
+        n_variables=st.integers(1, 5),
+        statements_per_block=st.integers(0, 4),
+    )
+
+
+@st.composite
+def _expr_text(draw) -> str:
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return str(draw(st.integers(0, 9)))
+    if kind == 1:
+        return draw(st.sampled_from(VARIABLES))
+    op = draw(st.sampled_from(("+", "-", "*")))
+    left = draw(st.sampled_from(VARIABLES))
+    right = draw(st.one_of(st.sampled_from(VARIABLES), st.integers(0, 9).map(str)))
+    return f"{left} {op} {right}"
+
+
+@st.composite
+def _statement_text(draw, depth: int) -> str:
+    roll = draw(st.integers(0, 9))
+    if roll == 0:
+        return f"out({draw(_expr_text())});"
+    if roll == 1 and depth > 0:
+        body = draw(_body_text(depth - 1))
+        if draw(st.booleans()):
+            other = draw(_body_text(depth - 1))
+            return f"if ? {{ {body} }} else {{ {other} }}"
+        return f"if ? {{ {body} }}"
+    if roll == 2 and depth > 0:
+        body = draw(_body_text(depth - 1))
+        return f"while ? {{ {body} }}"
+    lhs = draw(st.sampled_from(VARIABLES))
+    return f"{lhs} := {draw(_expr_text())};"
+
+
+@st.composite
+def _body_text(draw, depth: int = 2) -> str:
+    count = draw(st.integers(1, 4))
+    return " ".join(draw(_statement_text(depth)) for _ in range(count))
+
+
+@st.composite
+def composed_programs(draw):
+    source = draw(_body_text(depth=2))
+    anchor = draw(st.sampled_from(VARIABLES))
+    return parse_program(f"{source} out({anchor});")

@@ -1,0 +1,46 @@
+"""Property: every sinking pass the algorithm performs is admissible in
+the exact sense of Definition 3.2 (checked by path analysis, not by the
+analysis that produced it)."""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.admissibility import check_sinking_admissible
+from repro.core.eliminate import dead_code_elimination
+from repro.core.sink import assignment_sinking
+from repro.ir.splitting import split_critical_edges
+
+from .strategies import arbitrary_graphs, composed_programs, structured_programs
+
+RELAXED = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def run_alternation_checking_each_pass(graph, rounds: int = 6) -> None:
+    work = split_critical_edges(graph)
+    for _ in range(rounds):
+        dead_report = dead_code_elimination(work)
+        before = work.copy()
+        sink_report = assignment_sinking(work)
+        check_sinking_admissible(before, sink_report)
+        if not dead_report.changed and not sink_report.changed:
+            break
+
+
+class TestEverySinkingPassAdmissible:
+    @RELAXED
+    @given(structured_programs())
+    def test_structured(self, graph):
+        run_alternation_checking_each_pass(graph)
+
+    @RELAXED
+    @given(arbitrary_graphs())
+    def test_arbitrary(self, graph):
+        run_alternation_checking_each_pass(graph)
+
+    @RELAXED
+    @given(composed_programs())
+    def test_composed(self, graph):
+        run_alternation_checking_each_pass(graph)

@@ -1,0 +1,111 @@
+"""Property-based tests for the dataflow analyses (Tables 1 and 2)."""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.dataflow.dead import analyze_dead
+from repro.dataflow.delay import analyze_delayability
+from repro.dataflow.faint import analyze_faint
+from repro.dataflow.patterns import PatternUniverse, candidate_locations
+from repro.ir.splitting import split_critical_edges
+from repro.ir.stmts import Assign
+
+from .strategies import arbitrary_graphs, structured_programs
+
+RELAXED = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestDeadSubsetOfFaint:
+    @RELAXED
+    @given(arbitrary_graphs())
+    def test_pointwise_inclusion(self, graph):
+        dead = analyze_dead(graph)
+        faint = analyze_faint(graph)
+        for node in graph.nodes():
+            assert dead.entry(node) & ~faint.entry(node) == 0
+            assert dead.exit(node) & ~faint.exit(node) == 0
+
+
+class TestFaintMethodsAgree:
+    @RELAXED
+    @given(arbitrary_graphs())
+    def test_instruction_vs_block(self, graph):
+        a = analyze_faint(graph, method="instruction")
+        b = analyze_faint(graph, method="block")
+        for node in graph.nodes():
+            assert a.entry(node) == b.entry(node)
+            assert a.exit(node) == b.exit(node)
+
+
+class TestDeadConsistency:
+    @RELAXED
+    @given(arbitrary_graphs())
+    def test_exit_is_meet_of_successor_entries(self, graph):
+        dead = analyze_dead(graph)
+        for node in graph.nodes():
+            successors = graph.successors(node)
+            if not successors:
+                continue
+            meet = dead.universe.full
+            for successor in successors:
+                meet &= dead.entry(successor)
+            assert dead.exit(node) == meet
+
+    @RELAXED
+    @given(arbitrary_graphs())
+    def test_used_variables_never_dead_at_their_statement(self, graph):
+        dead = analyze_dead(graph)
+        for node in graph.nodes():
+            after = dead.after_each(node)
+            value_before = dead.entry(node)
+            for index, stmt in enumerate(graph.statements(node)):
+                for var in stmt.used():
+                    assert not dead.universe.test(value_before, var)
+                value_before = after[index]
+
+
+class TestDelayability:
+    @RELAXED
+    @given(structured_programs())
+    def test_equations_hold_at_fixpoint(self, graph):
+        split = split_critical_edges(graph)
+        d = analyze_delayability(split)
+        full = d.patterns.universe.full
+        for node in split.nodes():
+            loc_delayed, loc_blocked = d.locals[node]
+            assert d.x_delayed[node] == loc_delayed | (
+                d.n_delayed[node] & ~loc_blocked
+            )
+            if node == split.start:
+                assert d.n_delayed[node] == 0
+            else:
+                meet = full
+                for pred in split.predecessors(node):
+                    meet &= d.x_delayed[pred]
+                assert d.n_delayed[node] == meet
+
+    @RELAXED
+    @given(structured_programs())
+    def test_no_exit_insertions_at_branching_nodes(self, graph):
+        split = split_critical_edges(graph)
+        analyze_delayability(split).check_invariants()
+
+    @RELAXED
+    @given(arbitrary_graphs())
+    def test_candidates_unique_per_pattern_and_block(self, graph):
+        patterns = PatternUniverse(graph)
+        locations = candidate_locations(graph, patterns)
+        seen = set()
+        for node, index, pattern in locations:
+            assert (node, pattern) not in seen
+            seen.add((node, pattern))
+            stmt = graph.statements(node)[index]
+            assert isinstance(stmt, Assign) and stmt.pattern() == pattern
+            # No later occurrence of the pattern in this block.
+            for later in graph.statements(node)[index + 1 :]:
+                assert not (
+                    isinstance(later, Assign) and later.pattern() == pattern
+                )

@@ -1,0 +1,65 @@
+"""Property: compiled execution ≡ source interpretation, for any
+program, decisions and environment — with and without the peephole."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.codegen import lower, peephole, run_bytecode
+from repro.interp import DecisionSequence, InterpreterError, execute
+
+from .strategies import arbitrary_graphs, composed_programs, structured_programs
+
+RELAXED = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _agree(graph, seed: int) -> None:
+    plain = lower(graph)
+    tight = peephole(plain)
+    rng = random.Random(seed)
+    for _ in range(3):
+        decisions = [rng.randint(0, 5) for _ in range(300)]
+        env = {v: rng.randint(-3, 3) for v in graph.variables()}
+        try:
+            src = execute(
+                graph, dict(env), DecisionSequence(list(decisions)), max_steps=2500
+            )
+        except InterpreterError:
+            continue
+        try:
+            vm = run_bytecode(
+                plain, dict(env), DecisionSequence(list(decisions)), max_steps=80_000
+            )
+            vm2 = run_bytecode(
+                tight, dict(env), DecisionSequence(list(decisions)), max_steps=80_000
+            )
+        except InterpreterError:
+            # The VM executes strictly more steps (one per instruction);
+            # budget exhaustion on its side proves nothing either way.
+            continue
+        assert vm.outputs == src.outputs
+        assert (vm.trap is None) == (src.error is None)
+        assert vm2.outputs == vm.outputs and vm2.trap == vm.trap
+        assert vm2.executed <= vm.executed
+
+
+class TestCompiledSemantics:
+    @RELAXED
+    @given(structured_programs(max_size=18), st.integers(0, 10_000))
+    def test_structured(self, graph, seed):
+        _agree(graph, seed)
+
+    @RELAXED
+    @given(arbitrary_graphs(max_blocks=9), st.integers(0, 10_000))
+    def test_arbitrary(self, graph, seed):
+        _agree(graph, seed)
+
+    @RELAXED
+    @given(composed_programs(), st.integers(0, 10_000))
+    def test_composed(self, graph, seed):
+        _agree(graph, seed)

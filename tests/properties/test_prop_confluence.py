@@ -1,0 +1,54 @@
+"""Property: Theorem 3.7 confluence on finite instances.
+
+Any fair schedule over the transformation family converges, and all
+schedules converge to the same program modulo in-block reordering of
+independent statements (the canonical representative)."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.chaotic import canonicalize, chaotic_iterate, random_fair_schedule
+from repro.core.driver import pde, pfe
+from repro.core.optimality import compare
+
+from .strategies import structured_programs
+
+RELAXED = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestConfluence:
+    @RELAXED
+    @given(structured_programs(max_size=14), st.integers(0, 1000))
+    def test_random_schedules_match_the_driver_pde(self, graph, seed):
+        family = ("dce", "ask")
+        chaotic = chaotic_iterate(
+            graph, family, random_fair_schedule(family, seed)
+        )
+        driver = pde(graph)
+        assert canonicalize(chaotic.graph) == canonicalize(driver.graph)
+
+    @RELAXED
+    @given(structured_programs(max_size=12), st.integers(0, 1000))
+    def test_random_schedules_match_the_driver_pfe(self, graph, seed):
+        family = ("fce", "ask")
+        chaotic = chaotic_iterate(
+            graph, family, random_fair_schedule(family, seed)
+        )
+        driver = pfe(graph)
+        assert canonicalize(chaotic.graph) == canonicalize(driver.graph)
+
+    @RELAXED
+    @given(structured_programs(max_size=12), st.integers(0, 1000))
+    def test_canonicalization_is_pathwise_neutral(self, graph, seed):
+        """Reordering within blocks never changes per-path pattern counts."""
+        result = chaotic_iterate(
+            graph, ("dce", "ask"), random_fair_schedule(("dce", "ask"), seed)
+        )
+        outcome = compare(
+            result.graph, canonicalize(result.graph), max_edge_repeats=1
+        )
+        assert outcome.equivalent

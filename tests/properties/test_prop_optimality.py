@@ -1,0 +1,95 @@
+"""Property-based tests for the optimality machinery (Definition 3.6,
+Theorems 5.1/5.2) on finite instances."""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.baselines import dce_only, fce_only, single_pass_pde
+from repro.core import pde, pfe
+from repro.core.optimality import compare, is_better_or_equal
+
+from .strategies import arbitrary_graphs, structured_programs
+
+SMALL = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestBetterRelation:
+    @SMALL
+    @given(structured_programs(max_size=12))
+    def test_reflexive(self, graph):
+        result = pde(graph)
+        assert compare(result.graph, result.graph, max_edge_repeats=1).equivalent
+
+    @SMALL
+    @given(structured_programs(max_size=12))
+    def test_pde_improves_or_equals_original(self, graph):
+        result = pde(graph)
+        assert is_better_or_equal(result.graph, result.original, max_edge_repeats=1)
+
+    @SMALL
+    @given(arbitrary_graphs(max_blocks=7))
+    def test_pde_improves_or_equals_original_arbitrary(self, graph):
+        result = pde(graph)
+        assert is_better_or_equal(result.graph, result.original, max_edge_repeats=1)
+
+    @SMALL
+    @given(structured_programs(max_size=12))
+    def test_pfe_improves_or_equals_pde(self, graph):
+        """𝒢_PDE ⊆ 𝒢_PFE: the pfe optimum dominates the pde optimum."""
+        d = pde(graph)
+        f = pfe(graph)
+        assert is_better_or_equal(f.graph, d.graph, max_edge_repeats=1)
+
+
+class TestDominatesBaselines:
+    """Theorem 5.2 made finite: the pde result is at least as good as
+    what every restricted strategy produces."""
+
+    @SMALL
+    @given(structured_programs(max_size=12))
+    def test_dominates_dce_only(self, graph):
+        strong = pde(graph)
+        weak = dce_only(graph)
+        assert is_better_or_equal(strong.graph, weak.graph, max_edge_repeats=1)
+
+    @SMALL
+    @given(structured_programs(max_size=12))
+    def test_dominates_single_pass(self, graph):
+        strong = pde(graph)
+        weak = single_pass_pde(graph)
+        assert is_better_or_equal(strong.graph, weak.graph, max_edge_repeats=1)
+
+    @SMALL
+    @given(structured_programs(max_size=12))
+    def test_pfe_dominates_fce_only(self, graph):
+        strong = pfe(graph)
+        weak = fce_only(graph)
+        assert is_better_or_equal(strong.graph, weak.graph, max_edge_repeats=1)
+
+
+class TestIdempotence:
+    """The results are fixed points of the algorithm (Section 5.4)."""
+
+    @SMALL
+    @given(structured_programs(max_size=12))
+    def test_pde_idempotent(self, graph):
+        once = pde(graph)
+        twice = pde(once.graph)
+        assert twice.graph == once.graph
+
+    @SMALL
+    @given(structured_programs(max_size=12))
+    def test_pfe_idempotent(self, graph):
+        once = pfe(graph)
+        twice = pfe(once.graph)
+        assert twice.graph == once.graph
+
+    @SMALL
+    @given(arbitrary_graphs(max_blocks=7))
+    def test_pde_idempotent_arbitrary(self, graph):
+        once = pde(graph)
+        twice = pde(once.graph)
+        assert twice.graph == once.graph

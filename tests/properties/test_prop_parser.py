@@ -1,0 +1,51 @@
+"""Property-based tests for the textual surface syntax."""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.ir.parser import parse_program
+from repro.ir.printer import format_graph
+from repro.ir.splitting import split_critical_edges
+from repro.ir.validate import validate
+
+from .strategies import arbitrary_graphs, composed_programs, structured_programs
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestRoundTrip:
+    @RELAXED
+    @given(structured_programs())
+    def test_structured(self, graph):
+        assert parse_program(format_graph(graph)) == graph
+
+    @RELAXED
+    @given(arbitrary_graphs())
+    def test_arbitrary(self, graph):
+        assert parse_program(format_graph(graph)) == graph
+
+    @RELAXED
+    @given(composed_programs())
+    def test_composed(self, graph):
+        assert parse_program(format_graph(graph)) == graph
+
+    @RELAXED
+    @given(structured_programs())
+    def test_after_splitting(self, graph):
+        split = split_critical_edges(graph)
+        assert parse_program(format_graph(split)) == split
+
+
+class TestGeneratedProgramsWellFormed:
+    @RELAXED
+    @given(composed_programs())
+    def test_composed_programs_validate(self, graph):
+        validate(graph, strict=True)
+
+    @RELAXED
+    @given(structured_programs())
+    def test_split_removes_all_critical_edges(self, graph):
+        validate(split_critical_edges(graph), strict=True, require_split=True)

@@ -1,0 +1,120 @@
+"""Property-based tests: every transformation preserves semantics.
+
+The oracle replays identical branch-decision sequences against the
+original and the transformed program; see ``tests.helpers``.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.baselines import (
+    dce_only,
+    defuse_elimination,
+    fce_only,
+    naive_sinking,
+    single_pass_pde,
+)
+from repro.core import pde, pfe
+from repro.core.eliminate import dead_code_elimination, faint_code_elimination
+from repro.core.sink import assignment_sinking
+from repro.ir.splitting import split_critical_edges
+from repro.lcm import lazy_code_motion
+
+from ..helpers import assert_never_slower, assert_semantics_preserved
+from .strategies import arbitrary_graphs, composed_programs, structured_programs
+
+RELAXED = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestPde:
+    @RELAXED
+    @given(structured_programs())
+    def test_structured(self, graph):
+        result = pde(graph)
+        assert_semantics_preserved(result.original, result.graph, seeds=range(5))
+
+    @RELAXED
+    @given(arbitrary_graphs())
+    def test_arbitrary(self, graph):
+        result = pde(graph)
+        assert_semantics_preserved(result.original, result.graph, seeds=range(5))
+
+    @RELAXED
+    @given(composed_programs())
+    def test_composed(self, graph):
+        result = pde(graph)
+        assert_semantics_preserved(result.original, result.graph, seeds=range(5))
+
+    @RELAXED
+    @given(structured_programs())
+    def test_never_slower(self, graph):
+        result = pde(graph)
+        assert_never_slower(result.original, result.graph, seeds=range(5))
+
+
+class TestPfe:
+    @RELAXED
+    @given(structured_programs())
+    def test_structured(self, graph):
+        result = pfe(graph)
+        assert_semantics_preserved(result.original, result.graph, seeds=range(5))
+
+    @RELAXED
+    @given(arbitrary_graphs())
+    def test_arbitrary(self, graph):
+        result = pfe(graph)
+        assert_semantics_preserved(result.original, result.graph, seeds=range(5))
+
+
+class TestElementarySteps:
+    """Each elementary transformation is semantics-preserving on its own."""
+
+    @RELAXED
+    @given(arbitrary_graphs())
+    def test_single_sinking_pass(self, graph):
+        split = split_critical_edges(graph)
+        work = split.copy()
+        assignment_sinking(work)
+        assert_semantics_preserved(split, work, seeds=range(5))
+
+    @RELAXED
+    @given(arbitrary_graphs())
+    def test_single_dce_pass(self, graph):
+        work = graph.copy()
+        dead_code_elimination(work)
+        assert_semantics_preserved(graph, work, seeds=range(5))
+
+    @RELAXED
+    @given(arbitrary_graphs())
+    def test_single_fce_pass(self, graph):
+        work = graph.copy()
+        faint_code_elimination(work)
+        assert_semantics_preserved(graph, work, seeds=range(5))
+
+    @RELAXED
+    @given(structured_programs())
+    def test_edge_splitting(self, graph):
+        split = split_critical_edges(graph)
+        assert_semantics_preserved(graph, split, seeds=range(5))
+
+
+class TestBaselines:
+    @RELAXED
+    @given(structured_programs(max_size=16))
+    def test_all_baselines(self, graph):
+        for baseline in (dce_only, fce_only, single_pass_pde, naive_sinking, defuse_elimination):
+            result = baseline(graph)
+            assert_semantics_preserved(
+                result.original, result.graph, seeds=range(3)
+            )
+
+
+class TestLcm:
+    @RELAXED
+    @given(structured_programs(max_size=16))
+    def test_lazy_code_motion(self, graph):
+        result = lazy_code_motion(graph)
+        assert_semantics_preserved(result.original, result.graph, seeds=range(3))

@@ -1,0 +1,88 @@
+"""Stateful property testing: a random walk through the transformation
+space, with the invariants checked after every step.
+
+Hypothesis drives an arbitrary interleaving of all elementary
+transformations (the elementary steps of the paper plus the auxiliary
+passes) against a reference snapshot, asserting after each step that
+
+* the program stays structurally valid,
+* the branching structure is preserved by the paper's transformations
+  (Definition 3.6's precondition),
+* the observable semantics never changes (modulo the error asymmetry).
+
+This subsumes many hand-written orderings: any bug that needs a weird
+interleaving of passes to trigger has a chance to surface here.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.core.eliminate import dead_code_elimination, faint_code_elimination
+from repro.core.sink import assignment_sinking
+from repro.ir.splitting import split_critical_edges
+from repro.ir.validate import validate
+from repro.passes.copyprop import copy_propagation
+from repro.passes.hoisting import assignment_hoisting
+from repro.workloads import random_structured_program
+
+from ..helpers import assert_semantics_preserved
+
+
+class TransformationWalk(RuleBasedStateMachine):
+    @initialize(seed=st.integers(0, 10_000), size=st.integers(2, 16))
+    def setup(self, seed, size):
+        self.reference = split_critical_edges(
+            random_structured_program(seed, size=size)
+        )
+        self.work = self.reference.copy()
+
+    @rule()
+    def step_dce(self):
+        dead_code_elimination(self.work)
+
+    @rule()
+    def step_fce(self):
+        faint_code_elimination(self.work)
+
+    @rule()
+    def step_ask(self):
+        assignment_sinking(self.work)
+
+    @rule()
+    def step_hoist(self):
+        assignment_hoisting(self.work)
+
+    @rule()
+    def step_copyprop(self):
+        copy_propagation(self.work)
+
+    @rule()
+    def step_value_numbering(self):
+        from repro.passes.value_numbering import value_numbering
+
+        self.work = value_numbering(self.work, split_edges=False).graph
+
+    @invariant()
+    def still_valid(self):
+        if not hasattr(self, "work"):
+            return
+        validate(self.work, require_split=True)
+
+    @invariant()
+    def same_branching_structure(self):
+        if not hasattr(self, "work"):
+            return
+        assert self.work.same_shape(self.reference)
+
+    @invariant()
+    def semantics_preserved(self):
+        if not hasattr(self, "work"):
+            return
+        assert_semantics_preserved(self.reference, self.work, seeds=range(2))
+
+
+TransformationWalk.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=8, deadline=None
+)
+TestTransformationWalk = TransformationWalk.TestCase

@@ -1,0 +1,139 @@
+"""Unit tests for SSA construction."""
+
+import pytest
+
+from repro.ir.parser import parse_program
+from repro.ir.splitting import split_critical_edges
+from repro.ir.stmts import Assign
+from repro.ssa.construct import Phi, base_name, construct_ssa, versioned
+from repro.workloads import random_arbitrary_graph, random_structured_program
+
+from ..helpers import assert_semantics_preserved
+
+
+def ssa_of(src):
+    return construct_ssa(split_critical_edges(parse_program(src)))
+
+
+class TestNames:
+    def test_versioned_and_base(self):
+        assert versioned("x", 3) == "x%3"
+        assert base_name("x%3") == "x"
+        assert base_name("plain") == "plain"
+
+
+class TestSingleAssignmentProperty:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_every_name_defined_once(self, seed):
+        graph = split_critical_edges(random_structured_program(seed, size=16))
+        program = construct_ssa(graph.copy())
+        defined = []
+        for node in program.graph.nodes():
+            for stmt in program.graph.statements(node):
+                modified = stmt.modified()
+                if modified is not None:
+                    defined.append(modified)
+        assert len(defined) == len(set(defined))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_arbitrary_graphs_too(self, seed):
+        graph = split_critical_edges(random_arbitrary_graph(seed, n_blocks=8))
+        program = construct_ssa(graph.copy())
+        defined = [
+            stmt.modified()
+            for node in program.graph.nodes()
+            for stmt in program.graph.statements(node)
+            if stmt.modified() is not None
+        ]
+        assert len(defined) == len(set(defined))
+
+
+class TestPhiPlacement:
+    def test_join_gets_phi_for_branch_defined_variable(self):
+        program = ssa_of(
+            """
+            graph
+            block s -> 1
+            block 1 {} -> 2, 3
+            block 2 { x := 1 } -> 4
+            block 3 { x := 2 } -> 4
+            block 4 { out(x) } -> e
+            block e
+            """
+        )
+        phis = [
+            stmt
+            for stmt in program.graph.statements("4")
+            if isinstance(stmt, Phi)
+        ]
+        assert len(phis) == 1
+        assert base_name(phis[0].lhs) == "x"
+        args = dict(phis[0].args)
+        assert base_name(args["2"]) == "x" and base_name(args["3"]) == "x"
+        assert args["2"] != args["3"]
+
+    def test_undefined_path_contributes_the_initial_version(self):
+        program = ssa_of(
+            """
+            graph
+            block s -> 1
+            block 1 {} -> 2, 3
+            block 2 { x := 1 } -> 4
+            block 3 {} -> 4
+            block 4 { out(x) } -> e
+            block e
+            """
+        )
+        phi = next(
+            stmt for stmt in program.graph.statements("4") if isinstance(stmt, Phi)
+        )
+        args = dict(phi.args)
+        assert args["3"] == "x"  # the implicit initial version
+
+    def test_loop_variable_gets_header_phi(self):
+        program = ssa_of(
+            """
+            graph
+            block s -> 1
+            block 1 { i := 0 } -> 2
+            block 2 { i := i + 1 } -> 2, 3
+            block 3 { out(i) } -> e
+            block e
+            """
+        )
+        phis = [
+            stmt
+            for stmt in program.graph.statements("2")
+            if isinstance(stmt, Phi) and base_name(stmt.lhs) == "i"
+        ]
+        assert len(phis) == 1
+
+    def test_no_phi_without_joins(self):
+        program = ssa_of("graph\nblock s -> 1\nblock 1 { x := 1; out(x) } -> e\nblock e")
+        assert program.phi_count == 0
+
+    def test_uses_renamed_to_reaching_versions(self):
+        program = ssa_of(
+            "graph\nblock s -> 1\nblock 1 { x := 1; x := 2; out(x) } -> e\nblock e"
+        )
+        statements = program.graph.statements("1")
+        assert isinstance(statements[0], Assign) and statements[0].lhs == "x%1"
+        assert statements[1].lhs == "x%2"
+        assert str(statements[2]) == "out(x%2)"
+
+    def test_exit_versions_track_globals(self):
+        program = ssa_of(
+            "graph\nglobals gv;\nblock s -> 1\nblock 1 { gv := 1; gv := 2 } -> e\nblock e"
+        )
+        assert base_name(program.exit_versions["gv"]) == "gv"
+        assert program.exit_versions["gv"] == "gv%2"
+
+
+class TestPhiStatementProtocol:
+    def test_phi_local_predicates(self):
+        phi = Phi("x%3", (("p", "x%1"), ("q", "x%2")))
+        assert phi.modified() == "x%3"
+        assert phi.used() == frozenset({"x%1", "x%2"})
+        assert phi.assign_used() == phi.used()
+        assert not phi.is_relevant()
+        assert "φ" in str(phi)

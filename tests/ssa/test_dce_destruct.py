@@ -1,0 +1,194 @@
+"""Unit tests for SSA dead code elimination and out-of-SSA translation."""
+
+import pytest
+
+from repro.baselines import fce_only, ssa_dce
+from repro.ir.parser import parse_program
+from repro.ir.splitting import split_critical_edges
+from repro.ssa import Phi, construct_ssa, destruct, ssa_dead_code_elimination
+from repro.workloads import random_arbitrary_graph, random_structured_program
+
+from ..helpers import all_statement_texts, assert_semantics_preserved
+
+FIG9 = """
+graph
+block s -> 1
+block 1 {} -> 2
+block 2 { x := x + 1 } -> 2, 3
+block 3 { out(y) } -> e
+block e
+"""
+
+
+class TestSSADce:
+    def test_removes_faint_loop_increment(self):
+        res = ssa_dce(parse_program(FIG9))
+        assert not any("x" in t and ":=" in t for t in all_statement_texts(res.graph))
+        assert res.eliminated >= 1
+
+    def test_keeps_live_chain(self):
+        res = ssa_dce(
+            parse_program(
+                "graph\nblock s -> 1\nblock 1 { a := 1; b := a + 1; out(b) } -> e\nblock e"
+            )
+        )
+        texts = all_statement_texts(res.graph)
+        assert any("a%1 := 1" in t for t in texts)
+        assert any(":= a%1 + 1" in t for t in texts)
+
+    def test_keeps_globals(self):
+        res = ssa_dce(
+            parse_program(
+                "graph\nglobals gv;\nblock s -> 1\nblock 1 { gv := 1 } -> e\nblock e"
+            )
+        )
+        assert any("gv%1 := 1" in t for t in all_statement_texts(res.graph))
+
+    def test_dead_phi_cycle_removed(self):
+        # A loop-carried variable feeding only itself: φ and increment
+        # form a dead cycle the optimistic marking never reaches.
+        res = ssa_dce(
+            parse_program(
+                """
+                graph
+                block s -> 1
+                block 1 { i := 0 } -> 2
+                block 2 { i := i + 1 } -> 2, 3
+                block 3 { out(q) } -> e
+                block e
+                """
+            )
+        )
+        assert not any("i" in t and ":=" in t for t in all_statement_texts(res.graph))
+
+    def test_edge_traversal_counted(self):
+        res = ssa_dce(
+            parse_program(
+                "graph\nblock s -> 1\nblock 1 { a := 1; b := a + 1; out(b) } -> e\nblock e"
+            )
+        )
+        assert res.edges_traversed >= 2
+
+
+class TestSparsity:
+    def test_ssa_defuse_sparser_than_dense_graph(self):
+        """The Section 5.2 point: many defs × many uses explode the dense
+        def-use graph; SSA routes them through one φ."""
+        from repro.baselines import build_def_use_graph
+        from repro.ir.builder import GraphBuilder
+
+        def many(defs, uses):
+            builder = GraphBuilder()
+            builder.block("fork")
+            builder.edge("s", "fork")
+            for k in range(defs):
+                builder.block(f"d{k}", f"x := {k};")
+                builder.edge("fork", f"d{k}")
+                builder.edge(f"d{k}", "join")
+            builder.block("join", " ".join("out(x);" for _ in range(uses)))
+            builder.edge("join", "e")
+            return builder.build()
+
+        graph = many(8, 8)
+        dense = build_def_use_graph(split_critical_edges(graph))
+        res = ssa_dce(graph)
+        assert dense.edge_count == 64
+        # SSA: 8 φ-arg edges + 8 uses of the φ output ≈ linear.
+        assert res.edges_traversed <= 3 * 16
+
+
+class TestDestruct:
+    def test_phis_become_predecessor_copies(self):
+        program = construct_ssa(
+            split_critical_edges(
+                parse_program(
+                    """
+                    graph
+                    block s -> 1
+                    block 1 {} -> 2, 3
+                    block 2 { x := 1 } -> 4
+                    block 3 { x := 2 } -> 4
+                    block 4 { out(x) } -> e
+                    block e
+                    """
+                )
+            )
+        )
+        lowered = destruct(program.graph)
+        assert not any(
+            isinstance(stmt, Phi)
+            for node in lowered.nodes()
+            for stmt in lowered.statements(node)
+        )
+        # Copies landed in both branch blocks.
+        assert any("x%" in t for t in [str(s) for s in lowered.statements("2")])
+        assert any("x%" in t for t in [str(s) for s in lowered.statements("3")])
+
+    def test_copies_inserted_before_trailing_branch(self):
+        program = construct_ssa(
+            split_critical_edges(
+                parse_program(
+                    """
+                    graph
+                    block s -> 1
+                    block 1 { i := 0 } -> 2
+                    block 2 { branch i > 0 } -> 3, 4
+                    block 3 { i := i + 1 } -> 2
+                    block 4 { out(i) } -> e
+                    block e
+                    """
+                )
+            )
+        )
+        lowered = destruct(program.graph)
+        for node in lowered.nodes():
+            statements = lowered.statements(node)
+            for index, stmt in enumerate(statements):
+                if stmt.__class__.__name__ == "Branch":
+                    assert index == len(statements) - 1, node
+
+
+class TestEndToEndSemantics:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_pipeline_preserves_semantics_structured(self, seed):
+        g = random_structured_program(seed, size=14)
+        res = ssa_dce(g)
+        assert_semantics_preserved(res.original, res.graph, seeds=range(5))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_pipeline_preserves_semantics_arbitrary(self, seed):
+        g = random_arbitrary_graph(seed, n_blocks=8)
+        res = ssa_dce(g)
+        assert_semantics_preserved(res.original, res.graph, seeds=range(5))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_power_matches_fce_on_real_assignments(self, seed):
+        """SSA DCE keeps exactly the computations fce keeps (copies from
+        φ-lowering aside): compare the surviving *expression* patterns."""
+        g = random_structured_program(seed, size=14)
+        via_ssa = ssa_dce(g)
+        via_fce = fce_only(g)
+
+        def expression_multiset(graph):
+            from repro.ssa.construct import base_name
+            from repro.ir.stmts import Assign
+            kept = []
+            for node in graph.nodes():
+                for stmt in graph.statements(node):
+                    if isinstance(stmt, Assign) and not _is_copy(stmt):
+                        kept.append(_debased(stmt))
+            kept.sort()
+            return kept
+
+        def _is_copy(stmt):
+            from repro.ir.exprs import Var
+            return isinstance(stmt.rhs, Var)
+
+        def _debased(stmt):
+            from repro.ssa.construct import base_name
+            import re
+            return re.sub(r"%\d+", "", str(stmt))
+
+        assert expression_multiset(via_ssa.graph) == expression_multiset(
+            via_fce.graph
+        )

@@ -1,0 +1,90 @@
+"""Unit tests for dominator trees and dominance frontiers."""
+
+from repro.ir.parser import parse_program
+from repro.ssa.domtree import DominatorTree, dominance_frontiers
+
+DIAMOND = parse_program(
+    """
+    graph
+    block s -> 1
+    block 1 {} -> 2, 3
+    block 2 {} -> 4
+    block 3 {} -> 4
+    block 4 { out(x) } -> e
+    block e
+    """
+)
+
+LOOP = parse_program(
+    """
+    graph
+    block s -> 1
+    block 1 {} -> 2
+    block 2 {} -> 3
+    block 3 {} -> 2, 4
+    block 4 { out(x) } -> e
+    block e
+    """
+)
+
+
+class TestDominatorTree:
+    def test_idom_chain_in_diamond(self):
+        tree = DominatorTree(DIAMOND)
+        assert tree.idom["1"] == "s"
+        assert tree.idom["2"] == "1" and tree.idom["3"] == "1"
+        assert tree.idom["4"] == "1"  # neither branch dominates the join
+        assert tree.idom["s"] is None
+
+    def test_children_sorted(self):
+        tree = DominatorTree(DIAMOND)
+        assert tree.children["1"] == ["2", "3", "4"]
+
+    def test_preorder_starts_at_s_and_covers_all(self):
+        tree = DominatorTree(DIAMOND)
+        order = tree.preorder()
+        assert order[0] == "s"
+        assert set(order) == set(DIAMOND.nodes())
+        # Parents precede children.
+        position = {node: i for i, node in enumerate(order)}
+        for parent, kids in tree.children.items():
+            for kid in kids:
+                assert position[parent] < position[kid]
+
+    def test_dominates(self):
+        tree = DominatorTree(LOOP)
+        assert tree.dominates("2", "3")
+        assert tree.strictly_dominates("2", "3")
+        assert not tree.strictly_dominates("3", "2")
+        assert not tree.strictly_dominates("2", "2")
+
+
+class TestDominanceFrontiers:
+    def test_diamond_frontier_is_the_join(self):
+        frontiers = dominance_frontiers(DIAMOND)
+        assert frontiers["2"] == frozenset({"4"})
+        assert frontiers["3"] == frozenset({"4"})
+        assert frontiers["4"] == frozenset()
+        assert frontiers["1"] == frozenset()
+
+    def test_loop_header_in_its_own_frontier(self):
+        frontiers = dominance_frontiers(LOOP)
+        assert "2" in frontiers["3"]  # back edge source
+        assert "2" in frontiers["2"]  # the header is in its own frontier
+
+    def test_irreducible_graph(self):
+        g = parse_program(
+            """
+            graph
+            block s -> 0
+            block 0 {} -> 1, 2
+            block 1 {} -> 2
+            block 2 {} -> 1, 3
+            block 3 { out(x) } -> e
+            block e
+            """
+        )
+        frontiers = dominance_frontiers(g)
+        # Both loop nodes sit in each other's frontier (two-entry loop).
+        assert "2" in frontiers["1"]
+        assert "1" in frontiers["2"]

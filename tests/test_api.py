@@ -1,0 +1,52 @@
+"""The public API surface: everything advertised is importable and the
+package metadata is consistent."""
+
+import importlib
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.ir",
+    "repro.dataflow",
+    "repro.core",
+    "repro.baselines",
+    "repro.lcm",
+    "repro.ssa",
+    "repro.passes",
+    "repro.interp",
+    "repro.figures",
+    "repro.workloads",
+    "repro.cli",
+]
+
+
+class TestPublicSurface:
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_package_imports(self, name):
+        importlib.import_module(name)
+
+    @pytest.mark.parametrize("name", PACKAGES[:-1])
+    def test_all_entries_resolve(self, name):
+        module = importlib.import_module(name)
+        for entry in getattr(module, "__all__", ()):
+            assert hasattr(module, entry), f"{name}.__all__ lists missing {entry!r}"
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_top_level_workflow(self):
+        """The README quickstart, condensed."""
+        program = repro.parse_program("y := a + b; if ? { out(y); } else { y := 4; }")
+        result = repro.pde(program)
+        assert result.graph.instruction_count() <= result.original.instruction_count()
+        text = repro.format_side_by_side(result.original, result.graph)
+        assert "before" in text and "after" in text
+
+    def test_py_typed_marker_shipped(self):
+        import pathlib
+
+        package_dir = pathlib.Path(repro.__file__).parent
+        assert (package_dir / "py.typed").exists()
